@@ -1,0 +1,219 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per paper artifact,
+   timing the kernel computation that drives it.
+
+   Part 2 — the reproduction harness: regenerates every table and figure
+   at a reduced-but-representative scale and prints the measured rows next
+   to the paper's reference values. Full-scale runs: `octopus-repro`. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures for the kernels *)
+
+module Fixtures = struct
+  module Engine = Octo_sim.Engine
+  module Rng = Octo_sim.Rng
+  module Latency = Octo_sim.Latency
+
+  let world =
+    lazy
+      (let engine = Engine.create ~seed:1 () in
+       let latency = Latency.create (Rng.split (Engine.rng engine)) ~n:121 in
+       let w = Octopus.World.create engine latency ~n:120 in
+       Octopus.Serve.install w;
+       let _ = Octopus.Ca.create w in
+       (engine, w))
+
+  let chord =
+    lazy
+      (let engine = Engine.create ~seed:2 () in
+       let latency = Latency.create (Rng.split (Engine.rng engine)) ~n:120 in
+       (engine, Octo_chord.Network.create engine latency ~n:120))
+
+  let ring = lazy (Octo_anonymity.Ring_model.create ~n:20_000 ~f:0.2 ~seed:3 ())
+
+  let rng = Rng.create ~seed:4
+end
+
+let kernels =
+  let open Fixtures in
+  Test.make_grouped ~name:"kernels"
+    [
+      (* Table 1: one timing-analysis trial. *)
+      Test.make ~name:"table1/timing-trial"
+        (Staged.stage (fun () ->
+             ignore (Octo_anonymity.Timing.run ~n:100_000 ~trials:1 ~seed:5 ())));
+      (* Table 2 / Fig 3a: the security sim's hot path — sign + verify a
+         routing table. *)
+      Test.make ~name:"table2/sign-verify-table"
+        (Staged.stage (fun () ->
+             let _, w = Lazy.force world in
+             let node = Octopus.World.node w 3 in
+             let st = Octopus.World.honest_table w node in
+             assert (Octopus.World.verify_table w st)));
+      (* Fig 3b: one anonymous lookup on a quiet network. *)
+      Test.make ~name:"fig3b/anonymous-lookup"
+        (Staged.stage (fun () ->
+             let engine, w = Lazy.force world in
+             let key = Octo_chord.Id.random w.Octopus.World.space rng in
+             let got = ref false in
+             Octopus.Olookup.anonymous w (Octopus.World.node w 0) ~key (fun _ -> got := true);
+             Engine.run engine ~until:(Engine.now engine +. 30.0);
+             assert !got));
+      (* Fig 3c / Fig 4: the bound-check geometry. *)
+      Test.make ~name:"fig3c/bound-check"
+        (Staged.stage (fun () ->
+             let _, net = Lazy.force chord in
+             let node = Octo_chord.Network.node net 0 in
+             let gap = Octo_chord.Bounds.estimated_gap node.Octo_chord.Network.rt in
+             let table = Octo_chord.Network.snapshot net 1 in
+             ignore
+               (Octo_chord.Bounds.check_table
+                  (Octo_chord.Network.space net)
+                  ~num_fingers:12 ~gap table)));
+      (* Fig 5a: one greedy lookup trajectory on the static ring model. *)
+      Test.make ~name:"fig5a/ring-lookup-path"
+        (Staged.stage (fun () ->
+             let m = Lazy.force ring in
+             let from = Octo_anonymity.Ring_model.random_rank m in
+             let key = Octo_anonymity.Ring_model.random_key m in
+             ignore (Octo_anonymity.Ring_model.lookup_path m ~from ~key)));
+      (* Fig 5b / Fig 6: a closed-form baseline entropy evaluation. *)
+      Test.make ~name:"fig5b/baseline-entropy"
+        (Staged.stage (fun () ->
+             ignore (Octo_anonymity.Baseline_anon.chord_initiator (Lazy.force ring) ())));
+      (* Fig 5c: one range estimation. *)
+      Test.make ~name:"fig5c/range-estimate"
+        (Staged.stage (fun () ->
+             let m = Lazy.force ring in
+             let from = Octo_anonymity.Ring_model.random_rank m in
+             let key = Octo_anonymity.Ring_model.random_key m in
+             let path = Octo_anonymity.Ring_model.lookup_path m ~from ~key in
+             ignore (Octo_anonymity.Range_attack.estimate m path)));
+      (* Table 3 / Fig 7a: one plain Chord lookup on the event simulator. *)
+      Test.make ~name:"table3/chord-lookup"
+        (Staged.stage (fun () ->
+             let engine, net = Lazy.force chord in
+             let key = Octo_chord.Id.random (Octo_chord.Network.space net) rng in
+             let got = ref false in
+             Octo_chord.Lookup.run net ~from:0 ~key (fun _ -> got := true);
+             Engine.run engine ~until:(Engine.now engine +. 30.0);
+             assert !got));
+      (* Fig 7b: CA-side report verification (wire digest + signature). *)
+      Test.make ~name:"fig7b/report-verify"
+        (Staged.stage (fun () ->
+             let _, w = Lazy.force world in
+             let node = Octopus.World.node w 7 in
+             let sl = Octopus.World.honest_list w node Octopus.Types.Succ_list in
+             assert (Octopus.World.verify_list w sl)));
+      (* Fig 9: receipt signing + verification (the DoS-defense hot path). *)
+      Test.make ~name:"fig9/receipt-sign-verify"
+        (Staged.stage (fun () ->
+             let _, w = Lazy.force world in
+             let node = Octopus.World.node w 9 in
+             let receipt = Octopus.World.sign_receipt w node ~cid:42 in
+             assert (Octopus.World.verify_receipt w receipt)));
+      (* Crypto substrate reference point. *)
+      Test.make ~name:"substrate/sha256-1KiB"
+        (let buf = Bytes.create 1024 in
+         Staged.stage (fun () -> ignore (Octo_crypto.Sha256.digest_bytes buf)));
+      Test.make ~name:"substrate/onion-wrap-peel-4"
+        (let keys = List.init 4 (fun i -> Bytes.make 16 (Char.chr (65 + i))) in
+         let payload = Bytes.create 32 in
+         Staged.stage (fun () ->
+             let w = Octo_crypto.Onion.wrap ~rng:Fixtures.rng ~keys payload in
+             assert (Octo_crypto.Onion.peel_all ~keys w <> None)));
+    ]
+
+let run_bechamel () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances kernels in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== Micro-benchmarks (one kernel per paper artifact) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-32s (no estimate)\n" name
+      else if ns > 1e6 then Printf.printf "  %-32s %8.2f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "  %-32s %8.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "  %-32s %8.0f ns/run\n" name ns)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: reduced-scale reproduction of every table and figure *)
+
+let reproduce () =
+  let open Octo_experiments in
+  print_endline "== Reproduction harness (reduced scale; octopus-repro runs full scale) ==\n";
+
+  print_endline "-- Table 1: end-to-end timing analysis (paper: error 99.35-99.95%) --";
+  print_string (Report.table1 (Anonymity_exp.table1 ~trials:800 ~seed:11 ()));
+
+  print_endline "\n-- Figure 3(a): lookup bias attack (paper: all attackers caught in ~20 min) --";
+  let bias100 = Security.fig3a ~n:250 ~duration:400.0 ~rate:1.0 () in
+  print_string (Report.security_run ~label:"attack rate 100%" bias100);
+  let bias50 = Security.fig3a ~n:250 ~duration:400.0 ~seed:43 ~rate:0.5 () in
+  print_string (Report.security_run ~label:"attack rate 50%" bias50);
+
+  print_endline "\n-- Figure 3(b): biased lookups flatten once attackers are ejected --";
+  print_string (Report.fig3b bias100);
+
+  print_endline "\n-- Figure 3(c): fingertable manipulation attack --";
+  print_string
+    (Report.security_run ~label:"attack rate 100%"
+       (Security.fig3c ~n:250 ~duration:400.0 ~rate:1.0 ()));
+
+  print_endline "\n-- Figure 4: fingertable pollution attack --";
+  print_string
+    (Report.security_run ~label:"attack rate 100%"
+       (Security.fig4 ~n:250 ~duration:400.0 ~rate:1.0 ()));
+
+  print_endline "\n-- Figure 7(b): CA workload peaks early then decays (paper: ~2 msg/s peak) --";
+  print_string (Report.fig7b bias100);
+
+  print_endline "\n-- Figure 9: selective DoS attack (Appendix II) --";
+  print_string
+    (Report.security_run ~label:"attack rate 100%"
+       (Security.fig9 ~n:250 ~duration:400.0 ~rate:1.0 ()));
+
+  print_endline "\n-- Table 2: identification accuracy under churn --";
+  print_string (Report.table2 (Security.table2 ~n:250 ~duration:350.0 ()));
+
+  print_endline "\n-- Figure 5(a): H(I) of Octopus (paper: 0.57 bits leaked at f=0.2) --";
+  print_string (Report.fig_curves (Anonymity_exp.fig5a ~n:30_000 ~trials:150 ()));
+
+  print_endline "\n-- Figure 5(b): H(I) comparison (paper: NISAN/Torsk ~6x worse) --";
+  print_string (Report.fig_curves (Anonymity_exp.fig5b ~n:30_000 ~trials:150 ()));
+
+  print_endline "\n-- Figure 5(c): H(T) of Octopus (paper: 0.82 bits leaked at f=0.2) --";
+  print_string (Report.fig_curves (Anonymity_exp.fig5c ~n:30_000 ~trials:150 ()));
+
+  print_endline "\n-- Figure 6: H(T) comparison (paper: NISAN leaks 11.3, Torsk 3.4 bits) --";
+  print_string (Report.fig_curves (Anonymity_exp.fig6 ~n:30_000 ~trials:150 ()));
+
+  print_endline "\n-- Table 3 + Figure 7(a): lookup latency and bandwidth --";
+  let octopus = Efficiency.octopus_latency ~lookups:250 () in
+  let chord = Efficiency.chord_latency ~lookups:250 () in
+  let halo = Efficiency.halo_latency ~lookups:250 () in
+  print_string (Report.table3 ~octopus ~chord ~halo ~bandwidth:(Efficiency.bandwidth_table ()));
+  print_endline "\n-- Figure 7(a): latency CDFs --";
+  print_string (Report.fig7a ~octopus ~chord ~halo)
+
+let () =
+  let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let skip_repro = Array.exists (fun a -> a = "--micro-only") Sys.argv in
+  if not skip_micro then run_bechamel ();
+  if not skip_repro then reproduce ()

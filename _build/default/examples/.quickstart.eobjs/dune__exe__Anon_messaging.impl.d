@@ -1,0 +1,1 @@
+examples/anon_messaging.ml: Bytes Ca Circuits List Maintain Octo_chord Octo_sim Octopus Printf Serve String World

@@ -1,0 +1,1 @@
+examples/anon_messaging.mli:

@@ -1,0 +1,1 @@
+examples/attacker_hunt.ml: Ca Maintain Octo_crypto Octo_sim Octopus Printf Serve World

@@ -1,0 +1,1 @@
+examples/attacker_hunt.mli:

@@ -1,0 +1,1 @@
+examples/churny_store.ml: Bytes Ca List Maintain Octo_chord Octo_sim Octopus Printf Serve Store World

@@ -1,0 +1,1 @@
+examples/churny_store.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ca Maintain Octo_chord Octo_sim Octopus Olookup Printf Serve World

@@ -1,0 +1,52 @@
+(* DHT-based anonymous communication — the paper's motivating application
+   (§2), using the library's {!Octopus.Circuits}: a node builds a Tor-style
+   three-relay circuit, selecting every relay with an anonymous and secure
+   Octopus lookup of a random key. Because Octopus leaks almost nothing
+   about lookup targets, an adversary cannot predict the next relay and
+   pre-exhaust it (the relay-exhaustion attack that breaks Torsk, §4.7).
+
+     dune exec examples/anon_messaging.exe *)
+
+open Octopus
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Latency = Octo_sim.Latency
+module Peer = Octo_chord.Peer
+
+let () =
+  let n = 250 in
+  let engine = Engine.create ~seed:3 () in
+  let latency = Latency.create (Rng.split (Engine.rng engine)) ~n:(n + 1) in
+  let world = World.create engine latency ~n in
+  Serve.install world;
+  let _ca = Ca.create world in
+  Maintain.start
+    ~opts:{ Maintain.enable_lookups = false; churn_mean = None; enable_checks = false }
+    world;
+
+  let initiator = World.node world 7 in
+  let circuit = ref None in
+  Circuits.build world initiator ~hops:3 (fun c -> circuit := c);
+  Engine.run engine ~until:90.0;
+
+  match !circuit with
+  | None -> print_endline "circuit construction failed (network too lossy?)"
+  | Some c ->
+    Printf.printf "Circuit built anonymously: %s\n"
+      (String.concat " -> "
+         (List.map (fun r -> string_of_int r.Peer.addr) c.Circuits.relays));
+    print_endline
+      "Relay selection leaked neither the initiator nor the chosen relays:\n\
+       every selection lookup travelled over its own onion paths with dummy\n\
+       queries, and key establishment was delivered anonymously too.";
+    let payload = Bytes.of_string "hello from an anonymous initiator" in
+    let echoed = ref None in
+    Circuits.send world initiator c ~payload (fun r -> echoed := r);
+    Engine.run engine ~until:180.0;
+    (match !echoed with
+    | Some reply ->
+      Printf.printf "Payload travelled the circuit and came back: %S\n"
+        (Bytes.to_string reply)
+    | None -> print_endline "circuit transport failed");
+    Printf.printf "(onion-wrapped over %d layered session keys)\n"
+      (List.length c.Circuits.sessions)

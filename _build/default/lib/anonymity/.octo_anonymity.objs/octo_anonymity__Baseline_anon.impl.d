@@ -1,0 +1,1 @@
+lib/anonymity/baseline_anon.ml: Float List Octo_sim Range_attack Ring_model

@@ -1,0 +1,1 @@
+lib/anonymity/baseline_anon.mli: Ring_model

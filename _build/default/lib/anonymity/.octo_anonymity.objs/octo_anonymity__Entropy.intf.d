@@ -1,0 +1,1 @@
+lib/anonymity/entropy.mli:

@@ -1,0 +1,1 @@
+lib/anonymity/octopus_anon.ml: Array Float Hashtbl List Octo_sim Option Presim Range_attack Ring_model

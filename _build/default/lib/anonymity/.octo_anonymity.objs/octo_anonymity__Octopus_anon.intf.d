@@ -1,0 +1,1 @@
+lib/anonymity/octopus_anon.mli: Ring_model

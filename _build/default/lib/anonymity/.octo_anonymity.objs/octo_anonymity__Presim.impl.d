@@ -1,0 +1,1 @@
+lib/anonymity/presim.ml: Array Float List Octo_sim Range_attack Ring_model

@@ -1,0 +1,1 @@
+lib/anonymity/presim.mli: Ring_model

@@ -1,0 +1,1 @@
+lib/anonymity/range_attack.ml: Float List Octo_chord Ring_model

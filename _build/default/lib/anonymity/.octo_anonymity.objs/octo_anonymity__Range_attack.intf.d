@@ -1,0 +1,1 @@
+lib/anonymity/range_attack.mli: Ring_model

@@ -1,0 +1,1 @@
+lib/anonymity/ring_model.ml: Array Hashtbl List Octo_chord Octo_sim Option

@@ -1,0 +1,1 @@
+lib/anonymity/ring_model.mli: Octo_chord Octo_sim

@@ -1,0 +1,1 @@
+lib/anonymity/timing.ml: Float Octo_sim

@@ -1,0 +1,1 @@
+lib/anonymity/timing.mli:

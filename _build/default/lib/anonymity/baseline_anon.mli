@@ -1,0 +1,30 @@
+(** Anonymity models for the comparison schemes (Figures 5b and 6).
+
+    Each scheme gets an explicit observation model derived from its lookup
+    mechanics (documented per function); conditional entropies follow the
+    same Equation-(1) structure as the Octopus analysis, with Monte-Carlo
+    range estimation where the adversary's inference is non-trivial.
+
+    - {b Chord} (iterative, keys in the clear): any malicious queried node
+      sees both the initiator's address and the lookup key, so one bad hop
+      links I and T exactly.
+    - {b NISAN}: keys are concealed (whole fingertables), but every query
+      is sent directly, so all of a lookup's queries are linkable to I and
+      the range-estimation attack recovers T to within a few nodes.
+    - {b Torsk}: the buddy proxy hides I from the lookup's intermediaries,
+      but the buddy sees the key, and the lookup's queries expose T via
+      range estimation with no initiator ambiguity protection for T
+      itself. Linking back to I requires compromising the buddy walk. *)
+
+type result = { entropy : float; ideal : float; leak : float }
+
+type params = { alpha : float; trials : int; walk_length : int }
+
+val default_params : params
+
+val chord_initiator : Ring_model.t -> ?params:params -> unit -> result
+val chord_target : Ring_model.t -> ?params:params -> unit -> result
+val nisan_initiator : Ring_model.t -> ?params:params -> unit -> result
+val nisan_target : Ring_model.t -> ?params:params -> unit -> result
+val torsk_initiator : Ring_model.t -> ?params:params -> unit -> result
+val torsk_target : Ring_model.t -> ?params:params -> unit -> result

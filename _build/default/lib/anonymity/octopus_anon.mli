@@ -1,0 +1,46 @@
+(** Monte-Carlo anonymity measurement for Octopus (§6, Appendix III).
+
+    Entropy is computed per Equation (1): H = Σ{_o} P(o)·H(·|o), estimated
+    by sampling adversary observations. Each trial samples which relays
+    and queried nodes of the target lookup (and of the α·N concurrent
+    lookups) are compromised, derives the observation class the paper
+    analyzes (linkable queries / B-linkable / disassociated / none), and
+    computes the conditional entropy with the pre-simulated ξ, γ, χ
+    estimators. The observation model follows §6.1:
+
+    - a query is observed iff its exit relay D{_i} or the queried node
+      E{_i} is malicious;
+    - an observed query is linkable to B iff C{_i} is also malicious, and
+      linkable to the initiator iff additionally A is malicious (bridge),
+      with random-walk shortcuts contributing O(f^{l+1});
+    - one linkable query makes every B-linkable query of that lookup
+      linkable (shared B);
+    - the initiator itself is observed iff A is malicious or a walk's
+      first hop was (I contacts both directly);
+    - the target is observed iff it is malicious (§6.1). *)
+
+type params = {
+  alpha : float;  (** concurrent lookup rate *)
+  num_dummies : int;
+  walk_length : int;
+  trials : int;
+  presim_samples : int;
+  single_path : bool;
+      (** ablation: one shared (C, D) pair for all of a lookup's queries
+          instead of per-query pairs — §4.2 argues this collapses target
+          anonymity because one compromised exit links every query *)
+}
+
+val default_params : params
+
+type result = {
+  entropy : float;  (** H in bits *)
+  ideal : float;  (** log2((1-f)·N) *)
+  leak : float;  (** ideal - entropy *)
+}
+
+val initiator : Ring_model.t -> ?params:params -> unit -> result
+(** H(I) per §6.2. *)
+
+val target : Ring_model.t -> ?params:params -> unit -> result
+(** H(T) per Appendix III. *)

@@ -1,0 +1,103 @@
+module Id = Octo_chord.Id
+
+let virtual_path model ~first ~last =
+  let key = Ring_model.id_of model last in
+  let path = Ring_model.lookup_path ~exclude_target:false model ~from:first ~key in
+  (* The replayed trajectory ends at (or just before) [last]. *)
+  if List.exists (fun r -> r = last) path then path else path @ [ last ]
+
+let monotone model = function
+  | [] | [ _ ] -> true
+  | first :: rest ->
+    let rec ok prev = function
+      | [] -> true
+      | r :: tl ->
+        Ring_model.rank_distance_cw model first r
+        > Ring_model.rank_distance_cw model first prev
+        && ok r tl
+    in
+    ok first rest
+
+let passes_filter model subset =
+  match subset with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+    monotone model subset
+    &&
+    let last = List.nth subset (List.length subset - 1) in
+    let path = virtual_path model ~first ~last in
+    List.for_all
+      (fun r -> r = first || List.mem r path)
+      subset
+
+let largest_hop model subset =
+  match subset with
+  | [] | [ _ ] -> 0
+  | first :: _ ->
+    let last = List.nth subset (List.length subset - 1) in
+    let path = first :: virtual_path model ~first ~last in
+    let space = Ring_model.space model in
+    let rec max_gap prev acc = function
+      | [] -> acc
+      | r :: tl ->
+        let gap =
+          Id.distance_cw space (Ring_model.id_of model prev) (Ring_model.id_of model r)
+        in
+        max_gap r (max acc gap) tl
+    in
+    (match path with [] -> 0 | p :: tl -> max_gap p 0 tl)
+
+(* Upper bound via the finger-overshoot argument: walking the virtual
+   lookup, each hop E_k -> E_k+1 used some finger index p of E_k; the
+   (p+1)-th finger of E_k must overshoot the target. All such fingers are
+   upper bounds; the tightest is the one closest past the lower bound
+   (the last queried node). *)
+let upper_bound model ~lo path =
+  let space = Ring_model.space model in
+  let bits = Id.bits space in
+  let rec tighten bound = function
+    | a :: (b :: _ as rest) ->
+      let gap = Id.distance_cw space (Ring_model.id_of model a) (Ring_model.id_of model b) in
+      (* Index of the finger that reached b: floor(log2 gap). *)
+      let p = if gap <= 1 then 0 else int_of_float (Float.log2 (float_of_int gap)) in
+      let bound' =
+        if p + 1 >= bits then bound
+        else begin
+          let cand = Ring_model.finger_rank model ~rank:a ~index:(p + 1) in
+          if Ring_model.rank_distance_cw model lo cand = 0 then bound
+          else begin
+            match bound with
+            | None -> Some cand
+            | Some cur ->
+              if
+                Ring_model.rank_distance_cw model lo cand
+                < Ring_model.rank_distance_cw model lo cur
+              then Some cand
+              else bound
+          end
+        end
+      in
+      tighten bound' rest
+    | [ _ ] | [] -> bound
+  in
+  tighten None path
+
+let estimate model subset =
+  match subset with
+  | [] -> None
+  | [ only ] ->
+    (* One observation: the target follows it, somewhere within the
+       query-density horizon; use a successor span as the paper does. *)
+    Some (only, Ring_model.n model / 64)
+  | first :: _ ->
+    let last = List.nth subset (List.length subset - 1) in
+    let path = first :: virtual_path model ~first ~last in
+    let lo = last in
+    let size =
+      match upper_bound model ~lo path with
+      | Some ub ->
+        let d = Ring_model.rank_distance_cw model lo ub in
+        if d = 0 then 1 else d
+      | None -> Ring_model.n model / 64
+    in
+    Some (lo, max 1 size)

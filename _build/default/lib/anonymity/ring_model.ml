@@ -1,0 +1,110 @@
+module Id = Octo_chord.Id
+module Rng = Octo_sim.Rng
+
+type t = {
+  n : int;
+  f : float;
+  space : Id.space;
+  ids : int array; (* sorted *)
+  mal : bool array;
+  num_fingers : int;
+  list_size : int;
+  rng : Rng.t;
+}
+
+let n t = t.n
+let f t = t.f
+let space t = t.space
+let rng t = t.rng
+let id_of t rank = t.ids.(rank)
+let malicious t rank = t.mal.(rank)
+
+let create ?bits ?num_fingers ?(list_size = 6) ~n ~f ~seed () =
+  let bits = Option.value ~default:40 bits in
+  let space = Id.space ~bits in
+  let rng = Rng.create ~seed in
+  let used = Hashtbl.create (2 * n) in
+  let ids =
+    Array.init n (fun _ ->
+        let rec gen () =
+          let id = Id.random space rng in
+          if Hashtbl.mem used id then gen ()
+          else begin
+            Hashtbl.add used id ();
+            id
+          end
+        in
+        gen ())
+  in
+  Array.sort compare ids;
+  let mal = Array.init n (fun _ -> Rng.coin rng f) in
+  let num_fingers = Option.value ~default:bits num_fingers in
+  { n; f; space; ids; mal; num_fingers; list_size; rng }
+
+(* First rank whose id is >= key, wrapping. *)
+let owner_rank t ~key =
+  let lo = ref 0 and hi = ref (t.n - 1) and res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.ids.(mid) >= key then begin
+      res := Some mid;
+      hi := mid - 1
+    end
+    else lo := mid + 1
+  done;
+  match !res with Some r -> r | None -> 0
+
+let rank_distance_cw t a b = (b - a + t.n) mod t.n
+
+let finger_rank t ~rank ~index =
+  owner_rank t ~key:(Id.add t.space t.ids.(rank) (1 lsl index))
+
+let lookup_path ?(exclude_target = true) t ~from ~key =
+  let target = owner_rank t ~key in
+  (* Greedy: from the current rank, jump to the finger that lands closest
+     before the target; once within [list_size] the successor list covers
+     the key and the lookup ends at the current node. *)
+  let rec go current acc steps =
+    if steps > 64 then List.rev acc
+    else begin
+      let remaining = rank_distance_cw t current target in
+      if remaining = 0 || remaining <= t.list_size then List.rev acc
+      else begin
+        (* Best finger: largest 2^i jump not overshooting the target. *)
+        let cur_id = t.ids.(current) in
+        let dist_id = Id.distance_cw t.space cur_id t.ids.(target) in
+        let best = ref None in
+        for i = 0 to t.num_fingers - 1 do
+          let span = 1 lsl i in
+          if span < dist_id then begin
+            let fr = finger_rank t ~rank:current ~index:i in
+            let d = rank_distance_cw t fr target in
+            (* The target itself is never queried in a real lookup (its
+               address comes from the last table's successor list), but
+               the adversary's virtual replay towards a *queried* node may
+               land on it. *)
+            if fr <> current && d < remaining && ((not exclude_target) || d >= 1) then begin
+              match !best with
+              | Some (_, bd) when bd <= d -> ()
+              | _ -> best := Some (fr, d)
+            end
+          end
+        done;
+        match !best with
+        | None -> List.rev acc
+        | Some (next, _) -> go next (next :: acc) (steps + 1)
+      end
+    end
+  in
+  go from [] 0
+
+let random_rank t = Rng.int t.rng t.n
+
+let random_honest_rank t =
+  let rec go () =
+    let r = random_rank t in
+    if t.mal.(r) then go () else r
+  in
+  go ()
+
+let random_key t = Id.random t.space t.rng

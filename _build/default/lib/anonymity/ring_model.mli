@@ -1,0 +1,46 @@
+(** Static ring model for the anonymity analysis (§6).
+
+    The anonymity calculations run at N = 100 000 with a static network
+    and no active attacks (the paper's maximum-information-leak setting),
+    so instead of the event simulator this model computes lookups
+    analytically over a sorted identifier array: exact fingertables,
+    successor lists, and greedy lookup trajectories. Positions are "ranks"
+    (indexes into the sorted id array); rank distance is the node-count
+    metric the range-estimation attack reasons in. *)
+
+type t
+
+val create :
+  ?bits:int -> ?num_fingers:int -> ?list_size:int -> n:int -> f:float -> seed:int -> unit -> t
+(** [num_fingers] defaults to one per id bit (the classic Chord table,
+    appropriate at this scale). Malicious flags are i.i.d. with rate [f]. *)
+
+val n : t -> int
+val f : t -> float
+val space : t -> Octo_chord.Id.space
+val rng : t -> Octo_sim.Rng.t
+
+val id_of : t -> int -> int
+(** Ring id of a rank. *)
+
+val malicious : t -> int -> bool
+
+val owner_rank : t -> key:int -> int
+(** Rank of the key's successor. *)
+
+val rank_distance_cw : t -> int -> int -> int
+(** Clockwise distance in *nodes* between two ranks. *)
+
+val finger_rank : t -> rank:int -> index:int -> int
+(** Rank of the node's [index]-th finger (successor of id + 2^index). *)
+
+val lookup_path : ?exclude_target:bool -> t -> from:int -> key:int -> int list
+(** Ranks queried by a greedy iterative lookup (fingers + successor list),
+    in query order, excluding the initiator; the last queried rank's
+    successor list covers the key. The key's owner itself is never queried
+    unless [exclude_target] is [false] (the adversary's virtual replay
+    towards a queried node). *)
+
+val random_rank : t -> int
+val random_honest_rank : t -> int
+val random_key : t -> int

@@ -1,0 +1,32 @@
+(** End-to-end timing analysis attack (Table 1, §4.7).
+
+    A malicious entry relay A and exit relay D{_i} try to decide whether
+    they sit on the same anonymous path by comparing the forward transit
+    time (A's send to D's receive) with the backward one: on a noise-free
+    path they would match. Octopus destroys the similarity by having the
+    middle relay B hold each message for an independent random delay up to
+    [max_delay]; the adversary's best strategy — pick, among all candidate
+    exits observed in the time window, the one minimizing the
+    forward/backward difference — then errs almost always.
+
+    The candidate population follows the paper's setting: N nodes with
+    concurrent lookup rate α, f malicious; every concurrent query whose
+    exit is malicious is a candidate match for a malicious A. *)
+
+type result = {
+  error_rate : float;  (** fraction of trials the adversary mismatches *)
+  info_leak_bits : float;
+      (** (1 - error) * log2(0.8N + 0.2 alpha N), the paper's formula *)
+}
+
+val run :
+  ?n:int ->
+  ?f:float ->
+  ?alpha:float ->
+  ?max_delay:float ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Defaults: N = 1_000_000, f = 0.2, alpha = 0.01, max_delay = 0.1 s,
+    2000 trials. *)

@@ -1,0 +1,1 @@
+lib/baselines/castro.ml: Array Hashtbl Octo_chord Octo_sim Option

@@ -1,0 +1,1 @@
+lib/baselines/castro.mli: Octo_chord

@@ -1,0 +1,1 @@
+lib/baselines/halo.ml: List Octo_chord Octo_sim Option

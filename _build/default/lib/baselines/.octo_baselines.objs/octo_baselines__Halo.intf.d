@@ -1,0 +1,1 @@
+lib/baselines/halo.mli: Octo_chord

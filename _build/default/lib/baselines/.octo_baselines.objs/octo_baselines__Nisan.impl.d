@@ -1,0 +1,1 @@
+lib/baselines/nisan.ml: Hashtbl List Octo_chord Octo_sim Option

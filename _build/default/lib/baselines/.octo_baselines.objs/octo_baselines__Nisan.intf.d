@@ -1,0 +1,1 @@
+lib/baselines/nisan.mli: Octo_chord

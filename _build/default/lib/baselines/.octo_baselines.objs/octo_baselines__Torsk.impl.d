@@ -1,0 +1,1 @@
+lib/baselines/torsk.ml: Array List Octo_chord Octo_sim

@@ -1,0 +1,1 @@
+lib/baselines/torsk.mli: Octo_chord

@@ -1,0 +1,56 @@
+module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Network = Octo_chord.Network
+module Lookup = Octo_chord.Lookup
+module Rtable = Octo_chord.Rtable
+module Engine = Octo_sim.Engine
+
+type result = {
+  owner : Peer.t option;
+  agreement : int;
+  redundancy : int;
+  elapsed : float;
+}
+
+let lookup net ~from ~key ?(redundancy = 4) k =
+  let engine = Network.engine net in
+  let space = Network.space net in
+  let t0 = Engine.now engine in
+  let remaining = ref redundancy in
+  let answers : (int, Peer.t * int) Hashtbl.t = Hashtbl.create 8 in
+  let record (p : Peer.t) =
+    let _, count = Option.value ~default:(p, 0) (Hashtbl.find_opt answers p.Peer.id) in
+    Hashtbl.replace answers p.Peer.id (p, count + 1)
+  in
+  let finish () =
+    let best = ref None in
+    Hashtbl.iter
+      (fun _ (p, count) ->
+        match !best with
+        | Some (_, bc) when bc >= count -> ()
+        | _ -> best := Some (p, count))
+      answers;
+    match !best with
+    | Some (p, count) ->
+      k { owner = Some p; agreement = count; redundancy; elapsed = Engine.now engine -. t0 }
+    | None -> k { owner = None; agreement = 0; redundancy; elapsed = Engine.now engine -. t0 }
+  in
+  let one_done () =
+    decr remaining;
+    if !remaining = 0 then finish ()
+  in
+  let me = Network.node net from in
+  let fingers = Array.of_list (Rtable.fingers me.Network.rt) in
+  for r = 0 to redundancy - 1 do
+    (* Replica roots follow the owner; each redundant lookup targets one
+       and starts from a different own finger for route diversity. Every
+       replica root's predecessor region resolves to the same owner set, so
+       the plurality answer is the key's owner. *)
+    let target_key = if r = 0 then key else Id.add space key r in
+    let seed_candidates =
+      if Array.length fingers = 0 then None else Some [ fingers.(r mod Array.length fingers) ]
+    in
+    Lookup.run net ~from ~key:target_key ?seed_candidates (fun res ->
+        (match res.Lookup.owner with Some p -> record p | None -> ());
+        one_done ())
+  done

@@ -1,0 +1,29 @@
+(** Castro et al. (OSDI'02) redundant routing — the paper's reference [7]
+    and the lookup substrate of AP3.
+
+    Each key is replicated at its owner's neighbor set; the initiator runs
+    independent lookups towards every replica root and accepts the
+    majority answer. Robust against lookup bias while the replica routes
+    stay disjoint, but — as §2 recounts — the redundant messages converge
+    near the target (one malicious node there infects many paths) and
+    the redundancy itself accelerates information leaks about the
+    initiator (Mittal & Borisov, CCS'08), which is why Octopus avoids
+    redundant lookups entirely. *)
+
+type result = {
+  owner : Octo_chord.Peer.t option;  (** the plurality answer *)
+  agreement : int;  (** lookups that returned the plurality answer *)
+  redundancy : int;
+  elapsed : float;
+}
+
+val lookup :
+  Octo_chord.Network.t ->
+  from:int ->
+  key:int ->
+  ?redundancy:int ->
+  (result -> unit) ->
+  unit
+(** [redundancy] independent route-diversified lookups towards the key's
+    replica roots (the key itself and its [redundancy - 1] following
+    replica offsets); completes when all have answered (default 4). *)

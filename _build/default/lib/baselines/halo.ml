@@ -1,0 +1,111 @@
+module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Network = Octo_chord.Network
+module Lookup = Octo_chord.Lookup
+module Rtable = Octo_chord.Rtable
+module Proto = Octo_chord.Proto
+module Engine = Octo_sim.Engine
+
+type result = {
+  owner : Peer.t option;
+  elapsed : float;
+  sub_lookups : int;
+}
+
+(* A route-diversified iterative lookup: seeded from one specific own
+   finger so the redundant searches do not all follow the same path. *)
+let seeded_lookup net ~from ~seed ~key k =
+  let node = Network.node net from in
+  let fingers = Rtable.fingers node.Network.rt in
+  match fingers with
+  | [] -> Lookup.run net ~from ~key k
+  | _ ->
+    let start = List.nth fingers (seed mod List.length fingers) in
+    Lookup.run net ~from ~key ~seed_candidates:[ start ] k
+
+let candidate_from_table space (table : Proto.table) ~key =
+  (* The knuckle's routing entry that most closely succeeds the key. *)
+  let best = ref None in
+  let consider (p : Peer.t) =
+    let d = Id.distance_cw space key p.Peer.id in
+    match !best with
+    | Some (_, bd) when bd <= d -> ()
+    | _ -> best := Some (p, d)
+  in
+  List.iter (fun f -> Option.iter consider f) table.Proto.fingers;
+  List.iter consider table.Proto.succs;
+  consider table.Proto.owner;
+  Option.map fst !best
+
+(* A Halo lookup of recursion [depth]: at depth 1 the knuckle searches are
+   route-diversified plain lookups; at depth d they are themselves Halo
+   lookups of depth d-1 (the paper's "degree-2 recursion" runs depth 2 with
+   8x4 redundancy). A lookup completes only when every redundant branch
+   has returned — the source of Halo's long latency tail. *)
+let rec lookup_rec net ~from ~key ~knuckles ~redundancy ~depth k =
+  let engine = Network.engine net in
+  let space = Network.space net in
+  let bits = Id.bits space in
+  let t0 = Engine.now engine in
+  let branches = if depth >= 2 then knuckles else knuckles * redundancy in
+  let sub_per_branch = if depth >= 2 then redundancy * redundancy else 1 in
+  let remaining = ref branches in
+  let sub_total = ref 0 in
+  let candidates = ref [] in
+  let finish () =
+    (* Keep the candidate that most closely succeeds the key: with honest
+       majorities this is the true owner. *)
+    let best = ref None in
+    List.iter
+      (fun (p : Peer.t) ->
+        let d = Id.distance_cw space key p.Peer.id in
+        match !best with Some (_, bd) when bd <= d -> () | _ -> best := Some (p, d))
+      !candidates;
+    k
+      {
+        owner = Option.map fst !best;
+        elapsed = Engine.now engine -. t0;
+        sub_lookups = !sub_total;
+      }
+  in
+  let one_done () =
+    decr remaining;
+    if !remaining = 0 then finish ()
+  in
+  let fetch_knuckle_table knuckle =
+    Network.rpc net ~src:from ~dst:knuckle.Peer.addr
+      ~make:(fun rid -> Proto.Table_req { rid })
+      ~on_timeout:one_done
+      (fun msg ->
+        (match msg with
+        | Proto.Table_resp { table; _ } ->
+          Option.iter
+            (fun c -> candidates := c :: !candidates)
+            (candidate_from_table space table ~key)
+        | _ -> ());
+        one_done ())
+  in
+  for i = 0 to knuckles - 1 do
+    (* Knuckle target: the owner of key - 2^(bits-1-i) has a finger aimed
+       at the key's owner. *)
+    let knuckle_key = Id.sub space key (1 lsl (bits - 1 - i)) in
+    if depth >= 2 then begin
+      sub_total := !sub_total + sub_per_branch;
+      lookup_rec net ~from ~key:knuckle_key ~knuckles:redundancy ~redundancy ~depth:(depth - 1)
+        (fun res ->
+          match res.owner with
+          | Some knuckle when knuckle.Peer.addr <> from -> fetch_knuckle_table knuckle
+          | Some _ | None -> one_done ())
+    end
+    else
+      for r = 0 to redundancy - 1 do
+        incr sub_total;
+        seeded_lookup net ~from ~seed:((i * redundancy) + r) ~key:knuckle_key (fun res ->
+            match res.Lookup.owner with
+            | Some knuckle when knuckle.Peer.addr <> from -> fetch_knuckle_table knuckle
+            | Some _ | None -> one_done ())
+      done
+  done
+
+let lookup net ~from ~key ?(knuckles = 8) ?(redundancy = 4) ?(depth = 2) k =
+  lookup_rec net ~from ~key ~knuckles ~redundancy ~depth k

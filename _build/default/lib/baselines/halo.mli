@@ -1,0 +1,32 @@
+(** Halo (Kapadia & Triandopoulos, NDSS'08): high-assurance lookup by
+    redundant searches towards *knuckles* — nodes whose fingers point at
+    the target — over an unmodified Chord overlay.
+
+    To find the owner of [key], Halo searches for the predecessors of
+    [key - 2^j] for the [knuckles] largest spans [j]; each knuckle's
+    fingertable then yields a candidate owner, and the initiator keeps the
+    candidate closest after the key. Each knuckle search is performed
+    [redundancy] times along diversified routes. The paper's efficiency
+    comparison uses "degree-2 recursion with redundant parameter 8x4",
+    which this module flattens to 8 knuckles x 4 redundant searches (see
+    DESIGN.md); a Halo lookup completes only when all redundant searches
+    have returned, which is what gives it its long latency tail
+    (Figure 7a). *)
+
+type result = {
+  owner : Octo_chord.Peer.t option;
+  elapsed : float;
+  sub_lookups : int;  (** redundant searches issued *)
+}
+
+val lookup :
+  Octo_chord.Network.t ->
+  from:int ->
+  key:int ->
+  ?knuckles:int ->
+  ?redundancy:int ->
+  ?depth:int ->
+  (result -> unit) ->
+  unit
+(** [depth] is the recursion degree (default 2, the paper's setting): at
+    depth d each knuckle search is itself a Halo lookup of depth d-1. *)

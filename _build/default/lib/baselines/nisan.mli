@@ -1,0 +1,26 @@
+(** NISAN (Panchenko et al., CCS'09): an iterative Chord lookup that pulls
+    each queried node's *entire* fingertable (concealing the lookup key
+    from intermediaries) and applies bound checking to limit fingertable
+    manipulation.
+
+    NISAN conceals the key but not the initiator: every query is sent
+    directly, so all of a lookup's queries are trivially linkable to the
+    initiator — the property the range-estimation attack exploits (Wang et
+    al., CCS'10) and that the anonymity comparison of Figures 5b/6
+    quantifies. *)
+
+type result = {
+  owner : Octo_chord.Peer.t option;
+  hops : int;
+  queried : Octo_chord.Peer.t list;
+  rejected : int;  (** tables discarded by bound checking *)
+  elapsed : float;
+}
+
+val lookup :
+  Octo_chord.Network.t ->
+  from:int ->
+  key:int ->
+  ?tolerance:float ->
+  (result -> unit) ->
+  unit

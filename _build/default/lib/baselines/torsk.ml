@@ -1,0 +1,69 @@
+module Peer = Octo_chord.Peer
+module Network = Octo_chord.Network
+module Lookup = Octo_chord.Lookup
+module Rtable = Octo_chord.Rtable
+module Proto = Octo_chord.Proto
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Net = Octo_sim.Net
+
+type result = {
+  owner : Peer.t option;
+  buddy : Peer.t option;
+  walk_hops : int;
+  elapsed : float;
+}
+
+let install net =
+  Network.set_extension net (fun (env : Proto.msg Net.envelope) ->
+      match env.Net.payload with
+      | Proto.Proxy_req { rid; key } ->
+        let buddy_addr = env.Net.dst in
+        Lookup.run net ~from:buddy_addr ~key (fun res ->
+            Net.send (Network.net net) ~src:buddy_addr ~dst:env.Net.src
+              ~size:(Proto.size (Proto.Proxy_resp { rid; result = res.Lookup.owner; hops = res.Lookup.hops }))
+              (Proto.Proxy_resp { rid; result = res.Lookup.owner; hops = res.Lookup.hops }));
+        true
+      | _ -> false)
+
+let lookup net ~from ~key ?(walk_length = 3) k =
+  let engine = Network.engine net in
+  let rng = Network.rng net in
+  let t0 = Engine.now engine in
+  let me = Network.node net from in
+  let finish ?buddy ~walk_hops owner =
+    k { owner; buddy; walk_hops; elapsed = Engine.now engine -. t0 }
+  in
+  (* Random walk over fingertables to find the buddy. *)
+  let rec walk current hops =
+    if hops >= walk_length then begin
+      (* [current] is the buddy: delegate the lookup. *)
+      Network.rpc net ~src:from ~dst:current.Peer.addr
+        ~timeout:(4.0 +. float_of_int walk_length)
+        ~make:(fun rid -> Proto.Proxy_req { rid; key })
+        ~on_timeout:(fun () -> finish ~buddy:current ~walk_hops:hops None)
+        (fun msg ->
+          match msg with
+          | Proto.Proxy_resp { result; _ } -> finish ~buddy:current ~walk_hops:hops result
+          | _ -> finish ~buddy:current ~walk_hops:hops None)
+    end
+    else
+      Network.rpc net ~src:from ~dst:current.Peer.addr
+        ~make:(fun rid -> Proto.Table_req { rid })
+        ~on_timeout:(fun () -> finish ~walk_hops:hops None)
+        (fun msg ->
+          match msg with
+          | Proto.Table_resp { table; _ } -> (
+            let entries =
+              List.filter
+                (fun p -> p.Peer.addr <> from)
+                (List.filter_map (fun f -> f) table.Proto.fingers @ table.Proto.succs)
+            in
+            match entries with
+            | [] -> finish ~walk_hops:hops None
+            | _ -> walk (Rng.choose rng (Array.of_list entries)) (hops + 1))
+          | _ -> finish ~walk_hops:hops None)
+  in
+  match Rtable.fingers me.Network.rt with
+  | [] -> finish ~walk_hops:0 None
+  | fingers -> walk (Rng.choose rng (Array.of_list fingers)) 1

@@ -1,0 +1,27 @@
+(** Torsk (McLachlan et al., CCS'09): proxy-based anonymous lookup.
+
+    The initiator performs a short random walk over fingertables to find a
+    *buddy*, then asks the buddy to perform the (plain Chord) lookup on its
+    behalf. The initiator's identity is hidden from the lookup's
+    intermediaries — but the buddy learns the key, and nothing hides the
+    *target*, which is why Torsk's target anonymity collapses under the
+    relay-exhaustion attack the paper discusses (§2, §6.3). *)
+
+type result = {
+  owner : Octo_chord.Peer.t option;
+  buddy : Octo_chord.Peer.t option;
+  walk_hops : int;
+  elapsed : float;
+}
+
+val install : Octo_chord.Network.t -> unit
+(** Register the proxy-lookup handler on every node (Torsk buddies serve
+    lookups for strangers). *)
+
+val lookup :
+  Octo_chord.Network.t ->
+  from:int ->
+  key:int ->
+  ?walk_length:int ->
+  (result -> unit) ->
+  unit

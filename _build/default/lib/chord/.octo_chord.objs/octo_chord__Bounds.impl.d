@@ -1,0 +1,1 @@
+lib/chord/bounds.ml: Id List Peer Proto Rtable

@@ -1,0 +1,1 @@
+lib/chord/bounds.mli: Id Peer Proto Rtable

@@ -1,0 +1,1 @@
+lib/chord/id.ml: Format Int64 Octo_sim

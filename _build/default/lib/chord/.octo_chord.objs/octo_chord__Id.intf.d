@@ -1,0 +1,1 @@
+lib/chord/id.mli: Format Octo_sim

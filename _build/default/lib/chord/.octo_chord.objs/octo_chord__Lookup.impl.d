@@ -1,0 +1,1 @@
+lib/chord/lookup.ml: Hashtbl Id List Network Octo_sim Option Peer Proto Rtable

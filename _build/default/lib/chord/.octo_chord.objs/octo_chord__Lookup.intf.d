@@ -1,0 +1,1 @@
+lib/chord/lookup.mli: Id Network Peer Proto

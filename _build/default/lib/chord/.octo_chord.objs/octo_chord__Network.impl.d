@@ -1,0 +1,1 @@
+lib/chord/network.ml: Array Hashtbl Id List Octo_sim Option Peer Proto Rtable Stdlib

@@ -1,0 +1,1 @@
+lib/chord/network.mli: Id Octo_sim Peer Proto Rtable

@@ -1,0 +1,1 @@
+lib/chord/peer.ml: Format Hashtbl Id List Stdlib

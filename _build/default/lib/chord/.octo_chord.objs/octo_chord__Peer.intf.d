@@ -1,0 +1,1 @@
+lib/chord/peer.mli: Format Id

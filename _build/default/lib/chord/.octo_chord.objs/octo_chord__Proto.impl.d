@@ -1,0 +1,1 @@
+lib/chord/proto.ml: List Octo_crypto Peer Wire

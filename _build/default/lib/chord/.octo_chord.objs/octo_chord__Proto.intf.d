@@ -1,0 +1,1 @@
+lib/chord/proto.mli: Peer

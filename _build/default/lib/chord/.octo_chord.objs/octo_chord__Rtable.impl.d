@@ -1,0 +1,1 @@
+lib/chord/rtable.ml: Array Id List Peer

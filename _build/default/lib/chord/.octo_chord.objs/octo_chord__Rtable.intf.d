@@ -1,0 +1,1 @@
+lib/chord/rtable.mli: Id Peer

@@ -1,0 +1,1 @@
+lib/chord/stabilize.ml: Id List Lookup Network Octo_sim Peer Proto Rtable

@@ -1,0 +1,1 @@
+lib/chord/stabilize.mli: Network

@@ -1,0 +1,47 @@
+let estimated_gap rt =
+  let space = Rtable.space rt in
+  let own = (Rtable.owner rt).Peer.id in
+  let span_of peers dist =
+    match List.rev peers with
+    | [] -> None
+    | last :: _ -> Some (dist last.Peer.id, List.length peers)
+  in
+  let samples =
+    List.filter_map
+      (fun x -> x)
+      [
+        span_of (Rtable.succs rt) (fun id -> Id.distance_cw space own id);
+        span_of (Rtable.preds rt) (fun id -> Id.distance_cw space id own);
+      ]
+  in
+  match samples with
+  | [] -> float_of_int (Id.size space)
+  | _ ->
+    let total_span = List.fold_left (fun acc (s, _) -> acc + s) 0 samples in
+    let total_count = List.fold_left (fun acc (_, c) -> acc + c) 0 samples in
+    float_of_int total_span /. float_of_int total_count
+
+let check_finger space ~gap ~tolerance ~ideal peer =
+  let d = Id.distance_cw space ideal peer.Peer.id in
+  float_of_int d <= tolerance *. gap
+
+let check_table space ~num_fingers ~gap ?(tolerance = 8.0) (table : Proto.table) =
+  let own = table.Proto.owner.Peer.id in
+  let fingers_ok =
+    List.for_all (fun x -> x)
+      (List.mapi
+         (fun i finger ->
+           match finger with
+           | None -> true
+           | Some peer ->
+             let ideal = Id.ideal_finger space own ~num_fingers i in
+             check_finger space ~gap ~tolerance ~ideal peer)
+         table.Proto.fingers)
+  in
+  let rec succs_ok lo = function
+    | [] -> true
+    | s :: rest ->
+      float_of_int (Id.distance_cw space lo s.Peer.id) <= tolerance *. gap
+      && succs_ok s.Peer.id rest
+  in
+  fingers_ok && succs_ok own table.Proto.succs

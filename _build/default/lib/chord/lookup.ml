@@ -1,0 +1,140 @@
+module Engine = Octo_sim.Engine
+
+type result = {
+  owner : Peer.t option;
+  hops : int;
+  queried : Peer.t list;
+  elapsed : float;
+}
+
+let covers space (table : Proto.table) ~key =
+  let rec walk lo = function
+    | [] -> None
+    | s :: rest ->
+      if Id.between space key ~lo ~hi:s.Peer.id then Some s else walk s.Peer.id rest
+  in
+  walk table.Proto.owner.Peer.id table.Proto.succs
+
+let closest_preceding_in space (table : Proto.table) ~key =
+  let own = table.Proto.owner.Peer.id in
+  let best = ref None in
+  let consider p =
+    if Id.between_open space p.Peer.id ~lo:own ~hi:key then
+      match !best with
+      | None -> best := Some p
+      | Some b ->
+        if Id.distance_cw space own p.Peer.id > Id.distance_cw space own b.Peer.id then
+          best := Some p
+  in
+  List.iter (fun f -> Option.iter consider f) table.Proto.fingers;
+  List.iter consider table.Proto.succs;
+  !best
+
+let run net ~from ~key ?(max_hops = 32) ?seed_candidates k =
+  let engine = Network.engine net in
+  let space = Network.space net in
+  let me = Network.node net from in
+  let t0 = Engine.now engine in
+  let queried = ref [] in
+  let hops = ref 0 in
+  let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let candidates : (int, Peer.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_candidate p =
+    if p.Peer.addr <> from then Hashtbl.replace candidates p.Peer.id p
+  in
+  let finish owner =
+    k { owner; hops = !hops; queried = List.rev !queried; elapsed = Engine.now engine -. t0 }
+  in
+  (* Best untried candidate: the one with the smallest clockwise distance
+     onward to the key, i.e. the closest known predecessor of the key. *)
+  let best_candidate () =
+    Hashtbl.fold
+      (fun _ p acc ->
+        if Hashtbl.mem tried p.Peer.addr then acc
+        else begin
+          let d = Id.distance_cw space p.Peer.id key in
+          match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (p, d)
+        end)
+      candidates None
+  in
+  let rec step () =
+    if !hops >= max_hops then finish None
+    else begin
+      match best_candidate () with
+      | None -> finish None
+      | Some (p, d) ->
+        if d = 0 then
+          (* The candidate's id is exactly the key: it is the owner. *)
+          finish (Some p)
+        else begin
+          Hashtbl.replace tried p.Peer.addr ();
+          Network.rpc net ~src:from ~dst:p.Peer.addr
+            ~make:(fun rid -> Proto.Table_req { rid })
+            ~on_timeout:(fun () ->
+              Rtable.remove me.Network.rt ~addr:p.Peer.addr;
+              step ())
+            (fun msg ->
+              match msg with
+              | Proto.Table_resp { table; _ } ->
+                incr hops;
+                queried := table.Proto.owner :: !queried;
+                (match covers space table ~key with
+                | Some owner -> finish (Some owner)
+                | None ->
+                  List.iter (fun f -> Option.iter add_candidate f) table.Proto.fingers;
+                  List.iter add_candidate table.Proto.succs;
+                  step ())
+              | _ -> step ())
+        end
+    end
+  in
+  (* Resolve locally when possible: the initiator itself or its successor
+     list may already own the key. *)
+  let my_id = me.Network.peer.Peer.id in
+  let owns_locally =
+    match Rtable.predecessor me.Network.rt with
+    | Some pred -> Id.between space key ~lo:pred.Peer.id ~hi:my_id
+    | None -> false
+  in
+  if owns_locally then finish (Some me.Network.peer)
+  else begin
+    match Rtable.covers me.Network.rt ~key with
+    | Some owner -> finish (Some owner)
+    | None ->
+      (match seed_candidates with
+      | Some seeds -> List.iter add_candidate seeds
+      | None -> List.iter add_candidate (Rtable.entries me.Network.rt));
+      step ()
+  end
+
+let run_recursive net ~from ~key ?(timeout = 8.0) k =
+  let engine = Network.engine net in
+  let me = Network.node net from in
+  let t0 = Engine.now engine in
+  let finish ~hops owner =
+    k { owner; hops; queried = []; elapsed = Engine.now engine -. t0 }
+  in
+  let space = Network.space net in
+  let my_id = me.Network.peer.Peer.id in
+  let owns_locally =
+    match Rtable.predecessor me.Network.rt with
+    | Some pred -> Id.between space key ~lo:pred.Peer.id ~hi:my_id
+    | None -> false
+  in
+  if owns_locally then finish ~hops:0 (Some me.Network.peer)
+  else begin
+    match Rtable.covers me.Network.rt ~key with
+    | Some owner -> finish ~hops:0 (Some owner)
+    | None -> (
+      match Rtable.closest_preceding me.Network.rt ~key with
+      | Some next ->
+        Network.rpc net ~src:from ~dst:next.Peer.addr ~timeout
+          ~make:(fun rid ->
+            Proto.Find_req { rid; key; reply_to = me.Network.peer; hops_so_far = 1 })
+          ~on_timeout:(fun () -> finish ~hops:0 None)
+          (fun msg ->
+            match msg with
+            | Proto.Find_resp { owner; hops; _ } -> finish ~hops (Some owner)
+            | _ -> finish ~hops:0 None)
+      | None -> finish ~hops:0 None)
+  end

@@ -1,0 +1,236 @@
+module Engine = Octo_sim.Engine
+module Net = Octo_sim.Net
+module Rng = Octo_sim.Rng
+
+type config = { bits : int; num_fingers : int; list_size : int; rpc_timeout : float }
+
+let default_config = { bits = 40; num_fingers = 12; list_size = 6; rpc_timeout = 1.5 }
+
+type node = {
+  mutable peer : Peer.t;
+  mutable rt : Rtable.t;
+  mutable alive : bool;
+  mutable joined_at : float;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Proto.msg Net.t;
+  space : Id.space;
+  cfg : config;
+  nodes : node array;
+  pending : Proto.msg Net.Pending.t;
+  rng : Rng.t;
+  used_ids : (int, unit) Hashtbl.t;
+  mutable extension : (Proto.msg Net.envelope -> bool) option;
+}
+
+let engine t = t.engine
+let net t = t.net
+let space t = t.space
+let config t = t.cfg
+let rng t = t.rng
+let size t = Array.length t.nodes
+let node t addr = t.nodes.(addr)
+let peer_of t addr = t.nodes.(addr).peer
+
+let alive_addrs t =
+  Array.to_list t.nodes
+  |> List.filteri (fun _ n -> n.alive)
+  |> List.map (fun n -> n.peer.Peer.addr)
+
+let random_alive t rng =
+  let n = Array.length t.nodes in
+  let rec pick attempts =
+    if attempts > 20 * n then invalid_arg "random_alive: no alive node"
+    else begin
+      let addr = Rng.int rng n in
+      if t.nodes.(addr).alive then addr else pick (attempts + 1)
+    end
+  in
+  pick 0
+
+let fresh_id t rng =
+  let rec gen () =
+    let id = Id.random t.space rng in
+    if Hashtbl.mem t.used_ids id then gen ()
+    else begin
+      Hashtbl.add t.used_ids id ();
+      id
+    end
+  in
+  gen ()
+
+let snapshot t addr =
+  let node = t.nodes.(addr) in
+  {
+    Proto.owner = node.peer;
+    fingers = List.init (Rtable.num_fingers node.rt) (Rtable.finger node.rt);
+    succs = Rtable.succs node.rt;
+    sent_at = Engine.now t.engine;
+  }
+
+let send t ~src ~dst msg = Net.send t.net ~src ~dst ~size:(Proto.size msg) msg
+
+let handle t addr (env : Proto.msg Net.envelope) =
+  let node = t.nodes.(addr) in
+  let reply msg = send t ~src:addr ~dst:env.Net.src msg in
+  match env.Net.payload with
+  | Proto.Table_req { rid } -> reply (Proto.Table_resp { rid; table = snapshot t addr })
+  | Proto.Succs_req { rid; from } ->
+    (* The requester announces itself: it believes we are its successor, so
+       it belongs in our predecessor list (Chord's notify). *)
+    Rtable.merge_preds node.rt [ from ];
+    reply (Proto.Succs_resp { rid; succs = Rtable.succs node.rt })
+  | Proto.Preds_req { rid; from } ->
+    Rtable.merge_succs node.rt [ from ];
+    reply (Proto.Preds_resp { rid; preds = Rtable.preds node.rt })
+  | Proto.Ping_req { rid } -> reply (Proto.Ping_resp { rid })
+  | Proto.Find_req { rid; key; reply_to; hops_so_far } ->
+    (* Recursive lookup step: answer if our successor list covers the key,
+       otherwise forward to the greedy next hop. *)
+    if hops_so_far > 40 then ()
+    else begin
+      let answer owner =
+        send t ~src:addr ~dst:reply_to.Peer.addr
+          (Proto.Find_resp { rid; owner; hops = hops_so_far })
+      in
+      let key_is_mine =
+        match Rtable.predecessor node.rt with
+        | Some pred -> Id.between t.space key ~lo:pred.Peer.id ~hi:node.peer.Peer.id
+        | None -> false
+      in
+      if key_is_mine then answer node.peer
+      else begin
+        match Rtable.covers node.rt ~key with
+        | Some owner -> answer owner
+        | None -> (
+          match Rtable.closest_preceding node.rt ~key with
+          | Some next when next.Peer.addr <> addr ->
+            send t ~src:addr ~dst:next.Peer.addr
+              (Proto.Find_req { rid; key; reply_to; hops_so_far = hops_so_far + 1 })
+          | Some _ | None -> (
+            (* Dead end: our best answer is our first successor. *)
+            match Rtable.successor node.rt with
+            | Some s -> answer s
+            | None -> ()))
+      end
+    end
+  | Proto.Proxy_req _ -> (
+    match t.extension with
+    | Some ext -> ignore (ext env)
+    | None -> ())
+  | (Proto.Table_resp _ | Proto.Succs_resp _ | Proto.Preds_resp _ | Proto.Ping_resp _
+    | Proto.Proxy_resp _ | Proto.Find_resp _ ) as resp ->
+    ignore (Net.Pending.resolve t.pending (Proto.rid resp) resp)
+
+let bootstrap t =
+  (* Global-knowledge initial topology: exact successor/predecessor lists
+     and fingers, as in standard DHT simulation practice. *)
+  let n = Array.length t.nodes in
+  let sorted = Array.map (fun node -> node.peer) t.nodes in
+  Array.sort (fun a b -> Stdlib.compare a.Peer.id b.Peer.id) sorted;
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
+  let successor_of_key key =
+    (* Binary search: first sorted id >= key, wrapping. *)
+    let lo = ref 0 and hi = ref (n - 1) and res = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid).Peer.id >= key then begin
+        res := Some mid;
+        hi := mid - 1
+      end
+      else lo := mid + 1
+    done;
+    match !res with Some i -> sorted.(i) | None -> sorted.(0)
+  in
+  Array.iter
+    (fun node ->
+      let my_index = Hashtbl.find index_of node.peer.Peer.id in
+      let rt = node.rt in
+      let k = t.cfg.list_size in
+      let succs = List.init k (fun j -> sorted.((my_index + j + 1) mod n)) in
+      let preds = List.init k (fun j -> sorted.((my_index - j - 1 + n) mod n)) in
+      Rtable.set_succs rt succs;
+      Rtable.set_preds rt preds;
+      for i = 0 to t.cfg.num_fingers - 1 do
+        let ideal = Id.ideal_finger t.space node.peer.Peer.id ~num_fingers:t.cfg.num_fingers i in
+        Rtable.set_finger rt i (Some (successor_of_key ideal))
+      done)
+    t.nodes
+
+let create ?(config = default_config) engine latency ~n =
+  assert (n <= Octo_sim.Latency.n latency);
+  let space = Id.space ~bits:config.bits in
+  let rng = Rng.split (Engine.rng engine) in
+  let net = Net.create engine latency in
+  let used_ids = Hashtbl.create n in
+  let t =
+    {
+      engine;
+      net;
+      space;
+      cfg = config;
+      nodes = [||];
+      pending = Net.Pending.create engine;
+      rng;
+      used_ids;
+      extension = None;
+    }
+  in
+  let nodes =
+    Array.init n (fun addr ->
+        let id = fresh_id t rng in
+        let peer = Peer.make ~id ~addr in
+        {
+          peer;
+          rt = Rtable.create space ~owner:peer ~num_fingers:config.num_fingers
+                 ~list_size:config.list_size;
+          alive = true;
+          joined_at = 0.0;
+        })
+  in
+  let t = { t with nodes } in
+  bootstrap t;
+  Array.iteri (fun addr _ -> Net.register net addr (handle t addr)) t.nodes;
+  t
+
+let kill t addr =
+  let node = t.nodes.(addr) in
+  node.alive <- false;
+  Net.set_alive t.net addr false
+
+let revive t addr ~id =
+  let node = t.nodes.(addr) in
+  let peer = Peer.make ~id ~addr in
+  node.peer <- peer;
+  node.rt <-
+    Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.num_fingers
+      ~list_size:t.cfg.list_size;
+  node.alive <- true;
+  node.joined_at <- Engine.now t.engine;
+  Net.set_alive t.net addr true
+
+let find_owner t ~key =
+  let best = ref None in
+  Array.iter
+    (fun node ->
+      if node.alive then begin
+        let d = Id.distance_cw t.space key node.peer.Peer.id in
+        match !best with
+        | None -> best := Some (node.peer, d)
+        | Some (_, bd) -> if d < bd then best := Some (node.peer, d)
+      end)
+    t.nodes;
+  Option.map fst !best
+
+let rpc t ~src ~dst ?timeout ~make ~on_timeout k =
+  let timeout = Option.value ~default:t.cfg.rpc_timeout timeout in
+  let rid = Net.Pending.add t.pending ~timeout ~on_timeout k in
+  send t ~src ~dst (make rid)
+
+let set_extension t ext = t.extension <- Some ext
+
+let remove_peer_everywhere t ~addr =
+  Array.iter (fun node -> Rtable.remove node.rt ~addr) t.nodes

@@ -1,0 +1,29 @@
+type t = { id : int; addr : int }
+
+let make ~id ~addr = { id; addr }
+let equal a b = a.id = b.id && a.addr = b.addr
+let compare a b = Stdlib.compare (a.id, a.addr) (b.id, b.addr)
+let pp fmt t = Format.fprintf fmt "#%d@%d" t.id t.addr
+
+let dedupe_by_id peers =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p.id then false
+      else begin
+        Hashtbl.add seen p.id ();
+        true
+      end)
+    peers
+
+let sort_cw space ~from peers =
+  dedupe_by_id
+    (List.sort
+       (fun a b -> Stdlib.compare (Id.distance_cw space from a.id) (Id.distance_cw space from b.id))
+       peers)
+
+let sort_ccw space ~from peers =
+  dedupe_by_id
+    (List.sort
+       (fun a b -> Stdlib.compare (Id.distance_cw space a.id from) (Id.distance_cw space b.id from))
+       peers)

@@ -1,0 +1,54 @@
+type table = {
+  owner : Peer.t;
+  fingers : Peer.t option list;
+  succs : Peer.t list;
+  sent_at : float;
+}
+
+type msg =
+  | Table_req of { rid : int }
+  | Table_resp of { rid : int; table : table }
+  | Succs_req of { rid : int; from : Peer.t }
+  | Succs_resp of { rid : int; succs : Peer.t list }
+  | Preds_req of { rid : int; from : Peer.t }
+  | Preds_resp of { rid : int; preds : Peer.t list }
+  | Ping_req of { rid : int }
+  | Ping_resp of { rid : int }
+  | Find_req of { rid : int; key : int; reply_to : Peer.t; hops_so_far : int }
+  | Find_resp of { rid : int; owner : Peer.t; hops : int }
+  | Proxy_req of { rid : int; key : int }
+  | Proxy_resp of { rid : int; result : Peer.t option; hops : int }
+
+let rid = function
+  | Table_req { rid }
+  | Table_resp { rid; _ }
+  | Succs_req { rid; _ }
+  | Succs_resp { rid; _ }
+  | Preds_req { rid; _ }
+  | Preds_resp { rid; _ }
+  | Ping_req { rid }
+  | Ping_resp { rid }
+  | Find_req { rid; _ }
+  | Find_resp { rid; _ }
+  | Proxy_req { rid; _ }
+  | Proxy_resp { rid; _ } -> rid
+
+let table_entries table =
+  List.length (List.filter_map (fun f -> f) table.fingers) + List.length table.succs + 1
+
+let size msg =
+  let open Octo_crypto in
+  match msg with
+  | Table_req _ | Succs_req _ | Preds_req _ | Ping_req _ | Ping_resp _ -> Wire.header
+  | Table_resp { table; _ } -> Wire.header + Wire.routing_entries (table_entries table)
+  | Succs_resp { succs; _ } -> Wire.header + Wire.routing_entries (List.length succs)
+  | Preds_resp { preds; _ } -> Wire.header + Wire.routing_entries (List.length preds)
+  | Proxy_req _ -> Wire.header + Wire.routing_item
+  | Proxy_resp _ -> Wire.header + Wire.routing_item
+  | Find_req _ -> Wire.header + (2 * Wire.routing_item)
+  | Find_resp _ -> Wire.header + Wire.routing_item
+
+let is_response = function
+  | Table_resp _ | Succs_resp _ | Preds_resp _ | Ping_resp _ | Proxy_resp _ | Find_resp _ ->
+    true
+  | Table_req _ | Succs_req _ | Preds_req _ | Ping_req _ | Proxy_req _ | Find_req _ -> false

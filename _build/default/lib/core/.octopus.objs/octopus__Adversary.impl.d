@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Config List Octo_chord Octo_sim Types World

@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Octo_chord Types World

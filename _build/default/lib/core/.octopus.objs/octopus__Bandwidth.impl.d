@@ -1,0 +1,1 @@
+lib/core/bandwidth.ml: Config Float List Octo_crypto

@@ -1,0 +1,1 @@
+lib/core/ca.ml: Array Config Hashtbl List Octo_chord Octo_crypto Octo_sim Option Printf Serve String Sys Types World

@@ -1,0 +1,1 @@
+lib/core/ca.mli: Types World

@@ -1,0 +1,1 @@
+lib/core/circuits.ml: Bytes List Octo_chord Octo_crypto Olookup Query Types World

@@ -1,0 +1,1 @@
+lib/core/circuits.mli: Types World

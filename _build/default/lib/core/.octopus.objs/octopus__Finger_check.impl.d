@@ -1,0 +1,1 @@
+lib/core/finger_check.ml: Array Config List Octo_chord Octo_sim Option Query Types World

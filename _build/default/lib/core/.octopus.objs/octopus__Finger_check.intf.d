@@ -1,0 +1,1 @@
+lib/core/finger_check.mli: Types World

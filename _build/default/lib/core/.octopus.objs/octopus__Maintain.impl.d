@@ -1,0 +1,1 @@
+lib/core/maintain.ml: Config Finger_check Hashtbl List Octo_chord Octo_sim Olookup Query Surveillance Types Walk World

@@ -1,0 +1,1 @@
+lib/core/maintain.mli: World

@@ -1,0 +1,1 @@
+lib/core/olookup.ml: Array Config Hashtbl List Octo_chord Octo_sim Option Query Types World

@@ -1,0 +1,1 @@
+lib/core/olookup.mli: Octo_chord Types World

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Bytes Config Hashtbl List Octo_chord Octo_crypto Octo_sim Option Serve Types World

@@ -1,0 +1,1 @@
+lib/core/query.mli: Octo_chord Types World

@@ -1,0 +1,1 @@
+lib/core/serve.ml: Adversary Array Bytes Char Config Either Float Hashtbl List Octo_chord Octo_crypto Octo_sim Option Printf Types World

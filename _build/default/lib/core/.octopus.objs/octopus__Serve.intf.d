@@ -1,0 +1,1 @@
+lib/core/serve.mli: Octo_sim Types World

@@ -1,0 +1,1 @@
+lib/core/store.ml: List Octo_chord Olookup Query Types World

@@ -1,0 +1,1 @@
+lib/core/surveillance.ml: Array Config List Octo_chord Octo_sim Query Types World

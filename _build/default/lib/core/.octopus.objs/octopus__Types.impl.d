@@ -1,0 +1,1 @@
+lib/core/types.ml: Bytes Either List Octo_chord Octo_crypto Printf String

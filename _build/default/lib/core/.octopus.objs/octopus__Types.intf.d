@@ -1,0 +1,1 @@
+lib/core/types.mli: Either Octo_chord Octo_crypto

@@ -1,0 +1,1 @@
+lib/core/walk.ml: Array Config List Octo_chord Octo_crypto Octo_sim Query Serve Types World

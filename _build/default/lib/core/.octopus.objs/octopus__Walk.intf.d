@@ -1,0 +1,1 @@
+lib/core/walk.mli: Types World

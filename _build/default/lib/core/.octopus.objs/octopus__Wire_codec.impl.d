@@ -1,0 +1,1 @@
+lib/core/wire_codec.ml: Octo_crypto Result Types

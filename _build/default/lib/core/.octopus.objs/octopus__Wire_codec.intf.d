@@ -1,0 +1,1 @@
+lib/core/wire_codec.mli: Octo_crypto Types

@@ -1,0 +1,1 @@
+lib/core/world.ml: Array Config Float Hashtbl List Octo_chord Octo_crypto Octo_sim Option Stdlib Types

@@ -1,0 +1,1 @@
+lib/core/world.mli: Config Hashtbl Octo_chord Octo_crypto Octo_sim Types

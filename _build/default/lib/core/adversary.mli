@@ -1,0 +1,42 @@
+(** Malicious-node strategies (§5's attack scenarios).
+
+    Colluders know each other, share a fast side channel, and can produce
+    signatures with any colluder's key (the fabricated "proofs" used to
+    stall CA investigations). They cannot forge honest nodes' signatures —
+    that is what the investigation chains exploit. *)
+
+module Peer = Octo_chord.Peer
+
+val attacks_now : World.t -> World.node -> bool
+(** Active malicious and this opportunity selected at the attack rate. *)
+
+val covers_now : World.t -> World.node -> bool
+(** Colluder consistency draw (Table 2's 50% covering behaviour). *)
+
+val biased_succs : World.t -> World.node -> Peer.t list
+(** A successor list containing only colluders (nearest ones clockwise),
+    the lookup-bias manipulation of §4.3. *)
+
+val manipulated_fingers : World.t -> World.node -> Peer.t option list
+(** The node's fingertable with each finger redirected to the colluder
+    closest to its ideal id, with probability 1/2 per finger (§4.4). *)
+
+val fake_preds : World.t -> World.node -> Peer.t list
+(** An all-colluder predecessor list (what a manipulated finger F' answers
+    to hide from secret finger surveillance). *)
+
+val fabricated_justification :
+  World.t -> claimed_succ:Peer.t -> World.node option
+(** If the claimed successor is a colluder, return it (its key is available
+    to fabricate a signed list); [None] when it is honest, in which case no
+    justification can be forged. *)
+
+val serve_table : World.t -> World.node -> Types.signed_table
+(** The table a node serves for an (anonymous or direct) table request,
+    applying the active attack. *)
+
+val serve_list : World.t -> World.node -> Types.list_kind -> Types.signed_list
+(** The list a node serves, applying the active attack. *)
+
+val drops_fwd : World.t -> World.node -> bool
+(** Selective-DoS: whether a malicious relay drops this forwarded message. *)

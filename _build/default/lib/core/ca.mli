@@ -1,0 +1,43 @@
+(** The certificate authority's investigation logic (§4.3–§4.6, App. II).
+
+    The CA receives evidence reports and walks non-repudiation chains:
+
+    - {b omission chains} (lookup bias / pollution): a node whose signed
+      successor list omits a live in-span node must justify the omission
+      with its stored, signed proof from its claimed successor; suspicion
+      moves along signed inputs until a node cannot produce a valid
+      justification — that node is revoked. Honest nodes always can;
+      colluders eventually must either forge an honest signature
+      (impossible) or stand exposed.
+    - {b finger evidence} (manipulation): the three signed documents are
+      checked geometrically; conviction additionally requires
+      [interior_threshold] witnesses whose certificates predate the
+      accused table by the finger-refresh period (so honest staleness
+      cannot convict) and stability of a witness in P'1's retained proofs.
+    - {b DoS chains}: receipts and witness statements identify the first
+      relay that can neither prove onward delivery nor document the next
+      hop's refusal.
+
+    Every message the CA receives is counted into the workload series
+    (Figure 7b). All convictions are by certificate revocation, which
+    ejects the node and purges it from honest routing tables. *)
+
+type t
+
+val create : World.t -> t
+(** Register the CA's handler on [World.ca_addr]. *)
+
+val messages_received : t -> int
+
+type outcome = Convicted of int list | Nothing
+
+val investigate_omission :
+  World.t ->
+  missing:Types.Peer.t ->
+  owner:Types.Peer.t ->
+  peers:Types.Peer.t list ->
+  time:float ->
+  depth:int ->
+  (outcome -> unit) ->
+  unit
+(** Exposed for tests: run the justification chain for a claimed list. *)

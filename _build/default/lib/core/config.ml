@@ -1,0 +1,52 @@
+type t = {
+  bits : int;
+  num_fingers : int;
+  list_size : int;
+  rpc_timeout : float;
+  stabilize_every : float;
+  finger_update_every : float;
+  security_check_every : float;
+  random_walk_every : float;
+  lookup_every : float;
+  proof_queue_len : int;
+  walk_length : int;
+  num_dummies : int;
+  pool_target : int;
+  relay_max_delay : float;
+  bound_tolerance : float;
+  table_freshness : float;
+  pred_age_before_report : float;
+  interior_threshold : int;
+  cert_lifetime : float;
+  max_chain_depth : int;
+  dos_defense : bool;
+  query_deadline : float;
+}
+
+let default =
+  {
+    bits = 40;
+    num_fingers = 12;
+    list_size = 6;
+    rpc_timeout = 1.5;
+    stabilize_every = 2.0;
+    finger_update_every = 30.0;
+    security_check_every = 60.0;
+    random_walk_every = 15.0;
+    lookup_every = 60.0;
+    proof_queue_len = 6;
+    walk_length = 3;
+    num_dummies = 6;
+    pool_target = 14;
+    relay_max_delay = 0.1;
+    bound_tolerance = 8.0;
+    table_freshness = 10.0;
+    pred_age_before_report = 10.0;
+    interior_threshold = 2;
+    cert_lifetime = 86_400.0;
+    max_chain_depth = 10;
+    dos_defense = false;
+    query_deadline = 3.0;
+  }
+
+let paper_security = default

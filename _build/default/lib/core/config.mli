@@ -1,0 +1,41 @@
+(** Octopus protocol and simulation parameters.
+
+    Defaults follow the paper's evaluation setup (§5.1): 12 fingers, 6
+    successors/predecessors, stabilization every 2 s, finger updates every
+    30 s, security checks every 60 s, a random walk for relay selection
+    every 15 s, one lookup per minute, 6 retained successor-list proofs,
+    and a random delay of up to 100 ms added at the middle relay B. *)
+
+type t = {
+  bits : int;  (** identifier space width *)
+  num_fingers : int;
+  list_size : int;  (** successor/predecessor list length *)
+  rpc_timeout : float;
+  stabilize_every : float;
+  finger_update_every : float;  (** one full fingertable refresh per period *)
+  security_check_every : float;  (** secret neighbor + finger surveillance *)
+  random_walk_every : float;
+  lookup_every : float;
+  proof_queue_len : int;  (** retained signed successor lists *)
+  walk_length : int;  (** hops per random-walk phase (l) *)
+  num_dummies : int;  (** dummy queries per lookup *)
+  pool_target : int;  (** relay pairs kept available *)
+  relay_max_delay : float;  (** middle relay's anti-timing random delay *)
+  bound_tolerance : float;  (** NISAN-style bound check slack, in gaps *)
+  table_freshness : float;  (** max age of an accepted signed table *)
+  pred_age_before_report : float;
+      (** how long a predecessor must be known before surveillance may
+          report it (suppresses join-race false positives) *)
+  interior_threshold : int;
+      (** CA conviction threshold: certified nodes that must lie between an
+          ideal finger id and the reported finger *)
+  cert_lifetime : float;
+  max_chain_depth : int;  (** investigation chain length bound *)
+  dos_defense : bool;  (** receipts + witness statements *)
+  query_deadline : float;  (** selective-DoS delivery deadline *)
+}
+
+val default : t
+
+val paper_security : t
+(** The §5.1 experiment configuration (identical to {!default}). *)

@@ -1,0 +1,40 @@
+(** Secret finger surveillance (§4.4) and secure finger update (§4.5).
+
+    To audit a finger F' claimed at index [i] of node Y's signed table, the
+    checker asks F' for its (signed) predecessor list, then — after a short
+    random delay — anonymously asks a random predecessor P'1 for its
+    successor list. If nodes closer to the ideal finger id than F' show up
+    in P'1's list, Y's finger was manipulated: the three signed documents
+    go to the CA.
+
+    The same consistency check guards finger updates: a lookup result is
+    only installed as a finger once it passes. *)
+
+val consistency_check :
+  World.t ->
+  World.node ->
+  ideal:int ->
+  finger:Types.Peer.t ->
+  ([ `Clean | `Suspicious of Types.signed_list * Types.signed_list | `Unknown ] -> unit) ->
+  unit
+(** [`Suspicious (f_preds, p1_succs)] carries the evidence;
+    [`Unknown] means the check could not complete (timeouts, no pairs). *)
+
+val surveillance_round : World.t -> World.node -> unit
+(** Pick a random finger from a buffered table and audit it (periodic
+    §4.4 check; honest nodes only). *)
+
+val vet_finger_update :
+  World.t ->
+  World.node ->
+  index:int ->
+  candidate:Types.Peer.t ->
+  evidence_table:Types.signed_table option ->
+  (bool -> unit) ->
+  unit
+(** §4.5: returns whether the candidate may be installed.
+    [evidence_table] is the signed table whose successor list named the
+    candidate (the lookup's final table); on a suspicious outcome it is
+    filed with the CA as the omission evidence. A candidate equal to the
+    current finger is re-vetted only with small probability (cheap
+    steady-state). *)

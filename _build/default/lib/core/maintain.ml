@@ -1,0 +1,239 @@
+module Peer = Octo_chord.Peer
+module Rtable = Octo_chord.Rtable
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Series = Octo_sim.Metrics.Series
+
+type opts = { enable_lookups : bool; churn_mean : float option; enable_checks : bool }
+
+let default_opts = { enable_lookups = true; churn_mean = None; enable_checks = true }
+
+(* ------------------------------------------------------------------ *)
+(* Stabilization (§4.3: signed lists, proof queue, anti-clockwise too) *)
+
+let stabilize_succs w (node : World.node) =
+  match Rtable.successor node.World.rt with
+  | None -> ()
+  | Some succ ->
+    World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
+      ~make:(fun rid ->
+        Types.List_req { rid; kind = Types.Succ_list; announce = Some node.World.peer })
+      ~on_timeout:(fun () ->
+        if World.note_timeout w node succ.Peer.addr then
+          Rtable.remove node.World.rt ~addr:succ.Peer.addr)
+      (fun msg ->
+        match msg with
+        | Types.List_resp { slist; _ }
+          when slist.Types.l_kind = Types.Succ_list
+               && World.verify_list w ~expect_owner:succ slist ->
+          World.push_proof w node slist;
+          Rtable.set_succs node.World.rt (succ :: slist.Types.l_peers)
+        | Types.List_resp { slist; _ }
+          when slist.Types.l_owner.Peer.addr = succ.Peer.addr
+               && (not (Peer.equal slist.Types.l_owner succ))
+               && World.verify_list w slist ->
+          (* The address answered under a different identity: the peer we
+             knew churned away and a newcomer took the slot — evict the
+             stale entry (it would otherwise never time out). *)
+          Rtable.remove node.World.rt ~addr:succ.Peer.addr
+        | _ -> ())
+
+let stabilize_preds w (node : World.node) =
+  match Rtable.predecessor node.World.rt with
+  | None -> ()
+  | Some pred ->
+    World.rpc w ~src:node.World.addr ~dst:pred.Peer.addr
+      ~make:(fun rid ->
+        Types.List_req { rid; kind = Types.Pred_list; announce = Some node.World.peer })
+      ~on_timeout:(fun () ->
+        if World.note_timeout w node pred.Peer.addr then
+          Rtable.remove node.World.rt ~addr:pred.Peer.addr)
+      (fun msg ->
+        match msg with
+        | Types.List_resp { slist; _ }
+          when slist.Types.l_kind = Types.Pred_list
+               && World.verify_list w ~expect_owner:pred slist ->
+          World.update_preds w node (pred :: slist.Types.l_peers)
+        | Types.List_resp { slist; _ }
+          when slist.Types.l_owner.Peer.addr = pred.Peer.addr
+               && (not (Peer.equal slist.Types.l_owner pred))
+               && World.verify_list w slist ->
+          Rtable.remove node.World.rt ~addr:pred.Peer.addr
+        | _ -> ())
+
+let stabilize_once w node =
+  stabilize_succs w node;
+  stabilize_preds w node
+
+(* ------------------------------------------------------------------ *)
+(* Secure finger updates (§4.5) *)
+
+let finger_round w (node : World.node) k =
+  let cfg = w.World.cfg in
+  let rec update index =
+    if index >= cfg.Config.num_fingers || not node.World.alive then k ()
+    else begin
+      let ideal =
+        Octo_chord.Id.ideal_finger w.World.space node.World.peer.Peer.id
+          ~num_fingers:cfg.Config.num_fingers index
+      in
+      Olookup.direct w node ~key:ideal (fun result ->
+          match result.Olookup.owner with
+          | Some candidate when candidate.Peer.addr <> node.World.addr ->
+            Finger_check.vet_finger_update w node ~index ~candidate
+              ~evidence_table:result.Olookup.final_table (fun ok ->
+                if ok then Rtable.set_finger node.World.rt index (Some candidate);
+                update (index + 1))
+          | Some _ | None -> update (index + 1))
+    end
+  in
+  update 0
+
+(* ------------------------------------------------------------------ *)
+(* Join protocol for revived nodes *)
+
+let join w (node : World.node) k =
+  let bootstrap = World.random_alive w w.World.rng in
+  if bootstrap = node.World.addr then k false
+  else begin
+    Olookup.direct w (World.node w bootstrap) ~key:node.World.peer.Peer.id (fun result ->
+        match result.Olookup.owner with
+        | Some succ when succ.Peer.addr <> node.World.addr && node.World.alive ->
+          World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
+            ~make:(fun rid ->
+              Types.List_req { rid; kind = Types.Succ_list; announce = Some node.World.peer })
+            ~on_timeout:(fun () -> k false)
+            (fun msg ->
+              match msg with
+              | Types.List_resp { slist; _ }
+                when slist.Types.l_kind = Types.Succ_list
+                     && World.verify_list w ~expect_owner:succ slist ->
+                World.push_proof w node slist;
+                Rtable.set_succs node.World.rt (succ :: slist.Types.l_peers);
+                World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
+                  ~make:(fun rid ->
+                    Types.List_req { rid; kind = Types.Pred_list; announce = None })
+                  ~on_timeout:(fun () -> k true)
+                  (fun msg ->
+                    (match msg with
+                    | Types.List_resp { slist; _ } when slist.Types.l_kind = Types.Pred_list ->
+                      World.update_preds w node
+                        (List.filter
+                           (fun p -> not (Peer.equal p node.World.peer))
+                           slist.Types.l_peers)
+                    | _ -> ());
+                    (* Fill fingers promptly so walks can resume. *)
+                    finger_round w node (fun () -> ());
+                    k true)
+              | _ -> k false)
+        | Some _ | None -> k false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Measured lookup workload (Figure 3b) *)
+
+let do_lookup w (node : World.node) =
+  let key = Octo_chord.Id.random w.World.space w.World.rng in
+  Olookup.anonymous w node ~key (fun result ->
+      let time = World.now w in
+      Series.add w.World.metrics.World.lookups ~time 1.0;
+      match result.Olookup.owner with
+      | Some owner ->
+        let truth = World.find_owner w ~key in
+        let owner_node = World.node w owner.Peer.addr in
+        let biased =
+          World.is_active_malicious owner_node
+          &&
+          match truth with Some t -> not (Peer.equal t owner) | None -> false
+        in
+        if biased then Series.add w.World.metrics.World.biased ~time 1.0
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* State garbage collection *)
+
+let gc w (node : World.node) =
+  let horizon = World.now w -. 120.0 in
+  let prune_old table keep =
+    let stale = Hashtbl.fold (fun k v acc -> if keep v then acc else k :: acc) table [] in
+    List.iter (Hashtbl.remove table) stale
+  in
+  prune_old node.World.back_routes (fun r -> r.World.br_at >= horizon);
+  prune_old node.World.received_cids (fun at -> at >= horizon);
+  prune_old node.World.receipts (fun (r : Types.receipt) -> r.Types.rc_time >= horizon);
+  prune_old node.World.statements (fun stmts ->
+      List.exists (fun (s : Types.witness_statement) -> s.Types.ws_time >= horizon) stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly *)
+
+let start ?(opts = default_opts) w =
+  let cfg = w.World.cfg in
+  let engine = w.World.engine in
+  let rng = Rng.split w.World.rng in
+  let n = World.n_nodes w in
+  let active (node : World.node) = node.World.alive && not node.World.revoked in
+  for addr = 0 to n - 1 do
+    let node = World.node w addr in
+    let phase period = Rng.float rng period in
+    ignore
+      (Engine.every engine ~phase:(phase cfg.Config.stabilize_every)
+         ~period:cfg.Config.stabilize_every (fun () ->
+           if active node then stabilize_once w node;
+           true));
+    ignore
+      (Engine.every engine ~phase:(phase cfg.Config.finger_update_every)
+         ~period:cfg.Config.finger_update_every (fun () ->
+           if active node then finger_round w node (fun () -> ());
+           true));
+    ignore
+      (Engine.every engine ~phase:(phase cfg.Config.random_walk_every)
+         ~period:cfg.Config.random_walk_every (fun () ->
+           if active node then
+             Walk.run w node (function
+               | Some pair -> Query.add_pair w node pair
+               | None -> ());
+           true));
+    if opts.enable_checks then
+      ignore
+        (Engine.every engine ~phase:(phase cfg.Config.security_check_every)
+           ~period:cfg.Config.security_check_every (fun () ->
+             if active node && not node.World.malicious then begin
+               Surveillance.check w node;
+               Finger_check.surveillance_round w node
+             end;
+             true));
+    if opts.enable_lookups then
+      ignore
+        (Engine.every engine ~phase:(phase cfg.Config.lookup_every)
+           ~period:cfg.Config.lookup_every (fun () ->
+             if active node && not node.World.malicious then do_lookup w node;
+             true));
+    ignore
+      (Engine.every engine ~phase:(phase 60.0) ~period:60.0 (fun () ->
+           if active node then gc w node;
+           true))
+  done;
+  (match opts.churn_mean with
+  | Some mean ->
+    let churn_rng = Rng.split w.World.rng in
+    ignore
+      (Octo_sim.Churn.start engine churn_rng ~mean_lifetime:mean ~rejoin_delay:2.0
+         ~addrs:(List.init n (fun i -> i))
+         ~on_leave:(fun addr ->
+           let node = World.node w addr in
+           if node.World.alive && not node.World.revoked then World.kill w addr)
+         ~on_join:(fun addr ->
+           let node = World.node w addr in
+           if not node.World.revoked then begin
+             World.revive w addr;
+             join w node (fun _ -> ())
+           end)
+         ())
+  | None -> ());
+  (* Metric sampling for the remaining-malicious-fraction series. *)
+  World.sample_metrics w;
+  ignore
+    (Engine.every engine ~phase:5.0 ~period:5.0 (fun () ->
+         World.sample_metrics w;
+         true))

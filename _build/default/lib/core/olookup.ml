@@ -1,0 +1,202 @@
+module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Rtable = Octo_chord.Rtable
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+
+type result = {
+  owner : Peer.t option;
+  hops : int;
+  queried : Peer.t list;
+  final_table : Types.signed_table option;
+  elapsed : float;
+}
+
+let max_hops = 24
+
+let table_ok w (_node : World.node) ~expect_owner st = World.verify_table w ~expect_owner st
+
+let covers space (st : Types.signed_table) ~key =
+  let rec walk lo = function
+    | [] -> None
+    | s :: rest ->
+      if Id.between space key ~lo ~hi:s.Peer.id then Some s else walk s.Peer.id rest
+  in
+  walk st.Types.t_owner.Peer.id st.Types.t_succs
+
+(* Shared greedy-iterative engine; [fetch] abstracts how a candidate's
+   signed table is obtained (anonymously or directly). *)
+let greedy w (node : World.node) ~key ~fetch k =
+  let space = w.World.space in
+  let t0 = World.now w in
+  let hops = ref 0 in
+  let queried = ref [] in
+  let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let candidates : (int, Peer.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_candidate p = if p.Peer.addr <> node.World.addr then Hashtbl.replace candidates p.Peer.id p in
+  let final_table = ref None in
+  let finish owner =
+    k
+      {
+        owner;
+        hops = !hops;
+        queried = List.rev !queried;
+        final_table = !final_table;
+        elapsed = World.now w -. t0;
+      }
+  in
+  let best_candidate () =
+    Hashtbl.fold
+      (fun _ p acc ->
+        if Hashtbl.mem tried p.Peer.addr then acc
+        else begin
+          let d = Id.distance_cw space p.Peer.id key in
+          match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (p, d)
+        end)
+      candidates None
+  in
+  let rec step () =
+    if !hops >= max_hops || not node.World.alive then finish None
+    else begin
+      match best_candidate () with
+      | None -> finish None
+      | Some (p, d) ->
+        if d = 0 then finish (Some p)
+        else begin
+          Hashtbl.replace tried p.Peer.addr ();
+          fetch p (fun table_opt ->
+              incr hops;
+              match table_opt with
+              | Some st when table_ok w node ~expect_owner:p st -> (
+                World.buffer_table w node st;
+                queried := p :: !queried;
+                (* Route on the bound-filtered view: implausible fingers
+                   and successor-list gaps are ignored (§4.1). *)
+                let clean = World.sanitize_table w node st in
+                match covers space clean ~key with
+                | Some owner ->
+                  final_table := Some st;
+                  finish (Some owner)
+                | None ->
+                  List.iter (fun f -> Option.iter add_candidate f) clean.Types.t_fingers;
+                  List.iter add_candidate clean.Types.t_succs;
+                  step ())
+              | Some _ | None -> step ())
+        end
+    end
+  in
+  let my_id = node.World.peer.Peer.id in
+  let owns_locally =
+    match Rtable.predecessor node.World.rt with
+    | Some pred -> Id.between space key ~lo:pred.Peer.id ~hi:my_id
+    | None -> false
+  in
+  if owns_locally then finish (Some node.World.peer)
+  else begin
+    match Rtable.covers node.World.rt ~key with
+    | Some owner -> finish (Some owner)
+    | None ->
+      List.iter add_candidate (Rtable.entries node.World.rt);
+      step ()
+  end
+
+let fire_dummies w (node : World.node) ~ab ~pairs =
+  (* Dummy queries: real-looking table requests to random known peers,
+     spread over the expected lookup duration so interleaving looks like a
+     lookup trajectory to an observer. *)
+  let known = Rtable.entries node.World.rt in
+  if known <> [] then begin
+    let targets = Array.of_list known in
+    List.iter
+      (fun cd ->
+        let target = Rng.choose w.World.rng targets in
+        if target.Peer.addr <> node.World.addr then begin
+          let fire () =
+            Query.send w node
+              ~relays:(Query.path_relays ab cd)
+              ~target
+              ~query:(Types.Q_table { session = None })
+              (fun _ -> ())
+          in
+          ignore
+            (Engine.schedule w.World.engine ~delay:(Rng.float w.World.rng 2.0) (fun () ->
+                 if node.World.alive then fire ()))
+        end)
+      pairs
+  end
+
+let anonymous w (node : World.node) ~key k =
+  let cfg = w.World.cfg in
+  match Query.pick_pairs w node ~n:(1 + max_hops + cfg.Config.num_dummies) with
+  | [] -> k { owner = None; hops = 0; queried = []; final_table = None; elapsed = 0.0 }
+  | ab :: rest ->
+    (* Pairs are distinct within the lookup while they last; recycle
+       randomly if the pool is smaller than the query count. *)
+    let overlaps (a : World.pair) (b : World.pair) =
+      let addrs (p : World.pair) =
+        [ p.World.p_first.World.r_peer.Peer.addr; p.World.p_second.World.r_peer.Peer.addr ]
+      in
+      List.exists (fun x -> List.mem x (addrs b)) (addrs a)
+    in
+    let remaining = ref (List.filter (fun p -> not (overlaps p ab)) rest) in
+    let next_pair () =
+      match !remaining with
+      | p :: tl ->
+        remaining := tl;
+        p
+      | [] -> (
+        (* Pool exhausted: reuse a random non-overlapping pair. *)
+        let rec draw tries =
+          if tries = 0 then None
+          else begin
+            match Query.pick_pairs w node ~n:1 with
+            | [ p ] when not (overlaps p ab) -> Some p
+            | _ -> draw (tries - 1)
+          end
+        in
+        match draw 4 with Some p -> p | None -> ab)
+    in
+    let dummy_pairs =
+      List.filteri (fun i _ -> i < cfg.Config.num_dummies) rest
+    in
+    fire_dummies w node ~ab ~pairs:dummy_pairs;
+    let fetch p cont =
+      let cd = next_pair () in
+      Query.send w node
+        ~relays:(Query.path_relays ab cd)
+        ~target:p
+        ~query:(Types.Q_table { session = None })
+        (fun reply ->
+          match reply with
+          | Some (Types.R_table st) -> cont (Some st)
+          | Some _ -> cont None
+          | None ->
+            (* One of the pair's relays may be dead: retire the pair. *)
+            Query.discard_pair node cd;
+            cont None)
+    in
+    greedy w node ~key ~fetch k
+
+let direct w (node : World.node) ~key k =
+  let fetch (p : Peer.t) cont =
+    World.rpc w ~src:node.World.addr ~dst:p.Peer.addr
+      ~make:(fun rid -> Types.Table_req { rid })
+      ~on_timeout:(fun () ->
+        if World.note_timeout w node p.Peer.addr then Rtable.remove node.World.rt ~addr:p.Peer.addr;
+        cont None)
+      (fun msg ->
+        match msg with
+        | Types.Table_resp { table; _ } ->
+          if
+            table.Types.t_owner.Peer.addr = p.Peer.addr
+            && (not (Peer.equal table.Types.t_owner p))
+            && World.verify_table w table
+          then begin
+            (* Identity changed at this address: purge the stale entry. *)
+            Rtable.remove node.World.rt ~addr:p.Peer.addr;
+            cont None
+          end
+          else cont (Some table)
+        | _ -> cont None)
+  in
+  greedy w node ~key ~fetch k

@@ -1,0 +1,85 @@
+module Peer = Octo_chord.Peer
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Onion = Octo_crypto.Onion
+
+let path_relays (ab : World.pair) (cd : World.pair) =
+  [ ab.World.p_first; ab.World.p_second; cd.World.p_first; cd.World.p_second ]
+
+let pick_pairs (w : World.t) (node : World.node) ~n =
+  let pool = Array.of_list node.World.pool in
+  Array.to_list (Rng.sample w.World.rng ~k:n pool)
+
+let discard_pair (node : World.node) pair =
+  node.World.pool <- List.filter (fun p -> p != pair) node.World.pool
+
+let add_pair (w : World.t) (node : World.node) pair =
+  let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r in
+  node.World.pool <- take w.World.cfg.Config.pool_target (pair :: node.World.pool)
+
+let distinct_addrs ~initiator relays =
+  let addrs = List.map (fun r -> r.World.r_peer.Peer.addr) relays in
+  List.length (List.sort_uniq compare addrs) = List.length addrs
+  && not (List.mem initiator addrs)
+
+let send w (node : World.node) ~relays ~target ~query ?timeout k =
+  let cfg = w.World.cfg in
+  let timeout = Option.value ~default:cfg.Config.query_deadline timeout in
+  if not (distinct_addrs ~initiator:node.World.addr relays) then
+    (* A relay appearing twice would treat its second leg as a duplicate
+       delivery; fail fast so the caller picks other pairs. *)
+    ignore (Engine.schedule w.World.engine ~delay:0.0 (fun () -> k None))
+  else
+  let cid = World.fresh_cid w in
+  let deadline = World.now w +. timeout in
+  let keys = List.map (fun r -> r.World.r_key) relays in
+  let capsule = Onion.wrap ~rng:w.World.rng ~keys (Types.query_digest ~target ~cid query) in
+  (* The second relay (B) adds the anti-timing random delay. *)
+  let delay_for i = if i = 1 then Rng.float w.World.rng cfg.Config.relay_max_delay else 0.0 in
+  let legs = List.mapi (fun i r -> (r.World.r_peer.Peer.addr, r.World.r_sid, delay_for i)) relays in
+  match legs with
+  | [] ->
+    (* Degenerate: no relays — deliver directly (used only by tests). *)
+    World.rpc w ~src:node.World.addr ~dst:target.Peer.addr ~timeout
+      ~make:(fun rid -> Types.Anon_req { rid; query })
+      ~on_timeout:(fun () -> k None)
+      (fun msg ->
+        match msg with Types.Anon_resp { reply; _ } -> k (Some reply) | _ -> k None)
+  | (first_addr, first_sid, first_delay) :: rest ->
+    let fwd =
+      Types.Fwd
+        { cid; sid = first_sid; delay = first_delay; hops = rest; target; query; deadline; capsule }
+    in
+    let timeout_ev =
+      Engine.schedule w.World.engine ~delay:timeout (fun () ->
+          if Hashtbl.mem w.World.anon_waiting cid then begin
+            Hashtbl.remove w.World.anon_waiting cid;
+            if cfg.Config.dos_defense then begin
+              let report =
+                Types.R_dos
+                  {
+                    reporter = node.World.peer;
+                    relays = List.map (fun r -> r.World.r_peer) relays;
+                    cid;
+                    sent_at = deadline -. timeout;
+                  }
+              in
+              (* Reports are one-way: the CA acts but does not acknowledge. *)
+              World.send w ~src:node.World.addr ~dst:w.World.ca_addr
+                (Types.Report_msg { rid = 0; report })
+            end;
+            k None
+          end)
+    in
+    Hashtbl.replace w.World.anon_waiting cid
+      ( node.World.addr,
+        fun reply capsule ->
+        Engine.cancel timeout_ev;
+        let ok =
+          match Onion.peel_all ~keys capsule with
+          | Some digest -> Bytes.equal digest (Types.reply_digest ~cid reply)
+          | None -> false
+        in
+        if ok then k reply else k None );
+    World.send w ~src:node.World.addr ~dst:first_addr fwd;
+    Serve.arm_receipt_watch w node ~cid ~next:(World.node w first_addr).World.peer ~fwd

@@ -1,0 +1,37 @@
+(** Initiator-side anonymous queries (Figure 1).
+
+    A query is onion-wrapped over a list of relays the initiator shares
+    session keys with — normally the four relays of two pool pairs
+    (A, B, C{_i}, D{_i}), or the accumulated hops of an in-progress random
+    walk. The second relay holds the message for a random delay of up to
+    [relay_max_delay] to frustrate end-to-end timing analysis (§4.7). *)
+
+module Peer = Octo_chord.Peer
+
+val send :
+  World.t ->
+  World.node ->
+  relays:World.relay list ->
+  target:Peer.t ->
+  query:Types.anon_query ->
+  ?timeout:float ->
+  (Types.anon_reply option -> unit) ->
+  unit
+(** Fire an anonymous query; the continuation receives [None] on timeout
+    or when the reply capsule fails end-to-end integrity checking. With
+    the DoS defense enabled, a timeout also files an [R_dos] report naming
+    the path's relays. *)
+
+val path_relays : World.pair -> World.pair -> World.relay list
+(** [path_relays ab cd] is the four-relay path A, B, C, D. *)
+
+val pick_pairs : World.t -> World.node -> n:int -> World.pair list
+(** Up to [n] distinct pairs drawn from the node's pool (the pool is not
+    consumed — pairs are reusable across lookups, distinct within one). *)
+
+val discard_pair : World.node -> World.pair -> unit
+(** Drop a pair whose relays appear dead or misbehaving. *)
+
+val add_pair : World.t -> World.node -> World.pair -> unit
+(** Admit a freshly walked pair, evicting the oldest beyond the target
+    pool size. *)

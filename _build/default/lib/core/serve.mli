@@ -1,0 +1,31 @@
+(** Node-side message handling: serving signed routing state, relaying
+    onion-forwarded queries, exit-relay delivery, receipts and the witness
+    protocol for the selective-DoS defense, and answering the CA's
+    investigation requests.
+
+    Malicious behaviour is injected here through {!Adversary}: responses to
+    indistinguishable (anonymous) queries are manipulated at the configured
+    attack rate, selective-DoS relays drop forwarded traffic, and accused
+    colluders fabricate justifications. *)
+
+val install : World.t -> unit
+(** Register the dispatch handler for every node address. *)
+
+val dispatch : World.t -> int -> Types.msg Octo_sim.Net.envelope -> unit
+(** Exposed for tests. *)
+
+val arm_receipt_watch : World.t -> World.node -> cid:int -> next:Types.Peer.t -> fwd:Types.msg -> unit
+(** After sending [fwd] to [next], wait for its receipt; on silence, run the
+    witness protocol and retain the signed outcome as evidence. Used by
+    relays and by initiators for their first leg. *)
+
+val receipt_wait : float
+(** How long a forwarder waits for a receipt before involving witnesses. *)
+
+val phase2_index : seed:int -> step:int -> count:int -> int
+(** The deterministic hop selection of the random walk's second phase:
+    H(seed, step) reduced mod [count] (Appendix I, footnote 5). *)
+
+val table_entries : Types.signed_table -> Types.Peer.t list
+(** The canonical entry ordering used for seed-based selection: present
+    fingers in index order, then successors, de-duplicated. *)

@@ -1,0 +1,23 @@
+(** Anonymous replicated key-value storage over Octopus lookups — the
+    decentralized-store workload the paper's introduction motivates (file
+    sharing indexes, CoralCDN-style content records, PAST-style storage).
+
+    A value lives at its key's owner and is replicated to the owner's two
+    closest successors. Both [put] and [get] resolve the owner with an
+    anonymous lookup and deliver the operation itself over an anonymous
+    path, so storage nodes never learn who is reading or writing what —
+    exactly the profiling resistance the paper's design goals demand.
+
+    Reads fall back along the replica chain when the owner churned away
+    without handing its shard over (no re-balancing is implemented; the
+    replication factor bounds the survival window). *)
+
+val put :
+  World.t -> World.node -> key:int -> value:bytes -> (bool -> unit) -> unit
+(** Store anonymously; [true] once the owner acknowledged (replication to
+    its successors is asynchronous). *)
+
+val get :
+  World.t -> World.node -> key:int -> ?replica_fallbacks:int -> (bytes option -> unit) -> unit
+(** Fetch anonymously; tries the owner and then up to
+    [replica_fallbacks] (default 2) of its successors. *)

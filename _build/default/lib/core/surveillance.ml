@@ -1,0 +1,82 @@
+module Peer = Octo_chord.Peer
+module Rtable = Octo_chord.Rtable
+module Rng = Octo_sim.Rng
+
+let report w (node : World.node) report =
+  World.send w ~src:node.World.addr ~dst:w.World.ca_addr (Types.Report_msg { rid = 0; report })
+
+let test_pred w (node : World.node) (p : Peer.t) k =
+  match Query.pick_pairs w node ~n:2 with
+  | [ ab; cd ] when Query.path_relays ab cd <> [] ->
+    Query.send w node
+      ~relays:(Query.path_relays ab cd)
+      ~target:p
+      ~query:(Types.Q_list Types.Succ_list)
+      (fun reply ->
+        match reply with
+        | Some (Types.R_list sl)
+          when World.verify_list w ~expect_owner:p sl && sl.Types.l_kind = Types.Succ_list ->
+          (* We are one of P's [list_size] closest successors, so an honest
+             P's list must contain us. *)
+          let contains_me =
+            List.exists (fun q -> Peer.equal q node.World.peer) sl.Types.l_peers
+          in
+          k (Some (sl, contains_me))
+        | Some _ | None -> k None)
+  | _ -> k None
+
+let check w (node : World.node) =
+  let cfg = w.World.cfg in
+  let old_enough (p : Peer.t) =
+    match World.pred_known_since node p with
+    | Some since -> World.now w -. since >= cfg.Config.pred_age_before_report
+    | None -> false
+  in
+  match List.filter old_enough (Rtable.preds node.World.rt) with
+  | [] -> ()
+  | eligible ->
+    let p = Rng.choose w.World.rng (Array.of_list eligible) in
+    let target_node = World.node w p.Peer.addr in
+    test_pred w node p (fun first ->
+        (* Count the test only when it actually completed (the paper's FN
+           denominator is tests performed, not tests attempted while the
+           relay pool was dry). A tested attacker counts as identified if
+           it is revoked within a grace window — concurrent testers race
+           to the same conviction, and the identification, not the race
+           winner, is what false negatives measure. *)
+        let counted_attack =
+          match w.World.attack.World.kind with
+          | World.Bias | World.Selective_dos | World.No_attack -> true
+          | World.Finger_manip | World.Pollution -> false
+        in
+        if first <> None && counted_attack && World.is_active_malicious target_node then begin
+          w.World.metrics.World.tests_on_attacker <- w.World.metrics.World.tests_on_attacker + 1;
+          ignore
+            (Octo_sim.Engine.schedule w.World.engine ~delay:90.0 (fun () ->
+                 if target_node.World.revoked then
+                   w.World.metrics.World.attacker_identified <-
+                     w.World.metrics.World.attacker_identified + 1))
+        end;
+        match first with
+        | Some (_, false) when node.World.alive ->
+          (* Omission detected. A transient drop (e.g. a timed-out RPC
+             evicting us) self-heals within a stabilization round, so
+             re-test once before filing: only persistent omission is
+             reported. *)
+          ignore
+            (Octo_sim.Engine.schedule w.World.engine
+               ~delay:(2.0 *. cfg.Config.stabilize_every)
+               (fun () ->
+                 if node.World.alive then
+                   test_pred w node p (fun second ->
+                       match second with
+                       | Some (sl, false) when node.World.alive ->
+                         report w node
+                           (Types.R_neighbor
+                              {
+                                reporter = node.World.peer;
+                                missing = node.World.peer;
+                                claimed = sl;
+                              })
+                       | Some _ | None -> ())))
+        | Some _ | None -> ())

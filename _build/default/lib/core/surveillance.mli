@@ -1,0 +1,12 @@
+(** Secret neighbor surveillance (§4.3).
+
+    Periodically each node X sends an anonymous successor-list query to a
+    random predecessor P. P cannot distinguish the test from a real lookup
+    query, so a P that biases lookups by omitting honest successors omits X
+    and gets caught: X files the signed list with the CA as non-repudiable
+    evidence. To suppress join-race false positives, X only tests (and only
+    reports) predecessors it has known for at least
+    [pred_age_before_report] seconds. *)
+
+val check : World.t -> World.node -> unit
+(** One surveillance round for this node (honest nodes only). *)

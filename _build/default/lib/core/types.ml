@@ -1,0 +1,278 @@
+module Peer = Octo_chord.Peer
+module Wire = Octo_crypto.Wire
+module Keys = Octo_crypto.Keys
+module Cert = Octo_crypto.Cert
+
+type list_kind = Succ_list | Pred_list
+
+type signed_list = {
+  l_owner : Peer.t;
+  l_kind : list_kind;
+  l_peers : Peer.t list;
+  l_time : float;
+  l_sig : Keys.signature;
+  l_cert : Cert.t;
+}
+
+type signed_table = {
+  t_owner : Peer.t;
+  t_fingers : Peer.t option list;
+  t_succs : Peer.t list;
+  t_time : float;
+  t_sig : Keys.signature;
+  t_cert : Cert.t;
+}
+
+let peer_part p = Printf.sprintf "%d@%d" p.Peer.id p.Peer.addr
+
+let peers_part peers = String.concat "," (List.map peer_part peers)
+
+let kind_part = function Succ_list -> "S" | Pred_list -> "P"
+
+let list_digest sl =
+  Wire.digest_parts
+    [
+      "slist";
+      peer_part sl.l_owner;
+      kind_part sl.l_kind;
+      peers_part sl.l_peers;
+      Printf.sprintf "%.6f" sl.l_time;
+    ]
+
+let table_digest st =
+  let finger_part = function None -> "-" | Some p -> peer_part p in
+  Wire.digest_parts
+    [
+      "table";
+      peer_part st.t_owner;
+      String.concat "," (List.map finger_part st.t_fingers);
+      peers_part st.t_succs;
+      Printf.sprintf "%.6f" st.t_time;
+    ]
+
+let table_to_proto st =
+  {
+    Octo_chord.Proto.owner = st.t_owner;
+    fingers = st.t_fingers;
+    succs = st.t_succs;
+    sent_at = st.t_time;
+  }
+
+type anon_query =
+  | Q_table of { session : (int * bytes) option }
+  | Q_list of list_kind
+  | Q_phase2 of { seed : int; length : int }
+  | Q_establish of { sid : int; key : bytes }
+  | Q_put of { key : int; value : bytes }
+  | Q_get of { key : int }
+  | Q_echo of bytes
+
+type anon_reply =
+  | R_table of signed_table
+  | R_list of signed_list
+  | R_phase2 of signed_table list
+  | R_ok
+  | R_stored
+  | R_value of bytes option
+  | R_echo of bytes
+
+type report =
+  | R_neighbor of { reporter : Peer.t; missing : Peer.t; claimed : signed_list }
+  | R_finger of {
+      y_table : signed_table;
+      index : int;
+      f_preds : signed_list;
+      p1_succs : signed_list;
+    }
+  | R_table_omission of { reporter : Peer.t; missing : Peer.t; table : signed_table }
+  | R_dos of { reporter : Peer.t; relays : Peer.t list; cid : int; sent_at : float }
+
+type receipt = {
+  rc_cid : int;
+  rc_signer : Peer.t;
+  rc_time : float;
+  rc_sig : Keys.signature;
+}
+
+let receipt_digest ~cid ~signer ~time =
+  Wire.digest_parts [ "receipt"; string_of_int cid; peer_part signer; Printf.sprintf "%.6f" time ]
+
+type witness_statement = {
+  ws_witness : Peer.t;
+  ws_target : Peer.t;
+  ws_cid : int;
+  ws_time : float;
+  ws_sig : Keys.signature;
+}
+
+let statement_digest ~witness ~target ~cid ~time =
+  Wire.digest_parts
+    [
+      "statement";
+      peer_part witness;
+      peer_part target;
+      string_of_int cid;
+      Printf.sprintf "%.6f" time;
+    ]
+
+let query_digest ~target ~cid query =
+  let body =
+    match query with
+    | Q_table { session } -> (
+      "qt" ^ match session with Some (sid, _) -> string_of_int sid | None -> "-")
+    | Q_list Succ_list -> "qls"
+    | Q_list Pred_list -> "qlp"
+    | Q_phase2 { seed; length } -> Printf.sprintf "qp2:%d:%d" seed length
+    | Q_establish { sid; _ } -> Printf.sprintf "qe:%d" sid
+    | Q_put { key; value } ->
+      Printf.sprintf "qp:%d:%s" key (Octo_crypto.Sha256.hex (Octo_crypto.Sha256.digest_bytes value))
+    | Q_get { key } -> Printf.sprintf "qg:%d" key
+    | Q_echo payload ->
+      "qec:" ^ Octo_crypto.Sha256.hex (Octo_crypto.Sha256.digest_bytes payload)
+  in
+  Wire.digest_parts [ "query"; peer_part target; string_of_int cid; body ]
+
+let reply_digest ~cid reply =
+  let body =
+    match reply with
+    | None -> "none"
+    | Some (R_table st) -> Octo_crypto.Sha256.hex (table_digest st)
+    | Some (R_list sl) -> Octo_crypto.Sha256.hex (list_digest sl)
+    | Some (R_phase2 tables) ->
+      String.concat "," (List.map (fun t -> Octo_crypto.Sha256.hex (table_digest t)) tables)
+    | Some R_ok -> "ok"
+    | Some R_stored -> "stored"
+    | Some (R_value None) -> "value:-"
+    | Some (R_value (Some v)) -> "value:" ^ Octo_crypto.Sha256.hex (Octo_crypto.Sha256.digest_bytes v)
+    | Some (R_echo v) -> "echo:" ^ Octo_crypto.Sha256.hex (Octo_crypto.Sha256.digest_bytes v)
+  in
+  Wire.digest_parts [ "reply"; string_of_int cid; body ]
+
+type msg =
+  | List_req of { rid : int; kind : list_kind; announce : Peer.t option }
+  | List_resp of { rid : int; slist : signed_list }
+  | Table_req of { rid : int }
+  | Table_resp of { rid : int; table : signed_table }
+  | Ping_req of { rid : int }
+  | Ping_resp of { rid : int }
+  | Anon_req of { rid : int; query : anon_query }
+  | Anon_resp of { rid : int; reply : anon_reply }
+  | Fwd of {
+      cid : int;
+      sid : int;
+      delay : float;
+      hops : (int * int * float) list;
+      target : Peer.t;
+      query : anon_query;
+      deadline : float;
+      capsule : bytes;
+    }
+  | Fwd_reply of { cid : int; reply : anon_reply option; capsule : bytes }
+  | Replicate of { rid : int; key : int; value : bytes }
+      (** owner-to-successor replication of a stored value *)
+  | Replicate_ack of { rid : int }
+  | Receipt_msg of { cid : int; receipt : receipt }
+  | Witness_req of { rid : int; cid : int; target : Peer.t; fwd : msg }
+  | Witness_resp of { rid : int; outcome : (receipt, witness_statement) Either.t }
+  | Report_msg of { rid : int; report : report }
+  | Justify_req of { rid : int; missing : Peer.t; source : Peer.t; provenance : bool; before : float }
+  | Justify_resp of { rid : int; proof : signed_list option }
+  | Proofs_req of { rid : int }
+  | Proofs_resp of { rid : int; proofs : signed_list list }
+  | Evidence_req of { rid : int; cid : int }
+  | Evidence_resp of {
+      rid : int;
+      received : bool;
+      receipt : receipt option;
+      statements : witness_statement list;
+    }
+
+let rid = function
+  | List_req { rid; _ }
+  | List_resp { rid; _ }
+  | Table_req { rid }
+  | Table_resp { rid; _ }
+  | Ping_req { rid }
+  | Ping_resp { rid }
+  | Witness_req { rid; _ }
+  | Witness_resp { rid; _ }
+  | Report_msg { rid; _ }
+  | Justify_req { rid; _ }
+  | Justify_resp { rid; _ }
+  | Proofs_req { rid }
+  | Proofs_resp { rid; _ }
+  | Evidence_req { rid; _ }
+  | Evidence_resp { rid; _ }
+  | Anon_req { rid; _ }
+  | Anon_resp { rid; _ }
+  | Replicate { rid; _ }
+  | Replicate_ack { rid } -> Some rid
+  | Fwd _ | Fwd_reply _ | Receipt_msg _ -> None
+
+let signed_list_size sl = Wire.signed_list ~entries:(List.length sl.l_peers)
+
+let signed_table_size st =
+  let fingers = List.length (List.filter_map (fun f -> f) st.t_fingers) in
+  Wire.signed_routing_table ~fingers ~succs:(List.length st.t_succs)
+
+let query_payload_size = function
+  | Q_table { session } -> (
+    Wire.routing_item + match session with Some _ -> 4 + Wire.key | None -> 0)
+  | Q_list _ -> Wire.routing_item
+  | Q_phase2 _ -> 12
+  | Q_establish _ -> 4 + Wire.key
+  | Q_put { value; _ } -> 8 + Bytes.length value
+  | Q_get _ -> 8
+  | Q_echo payload -> Bytes.length payload
+
+let reply_payload_size = function
+  | R_table st -> signed_table_size st
+  | R_list sl -> signed_list_size sl
+  | R_phase2 tables -> List.fold_left (fun acc t -> acc + signed_table_size t) 0 tables
+  | R_ok -> 4
+  | R_stored -> 4
+  | R_value v -> 1 + (match v with Some b -> Bytes.length b | None -> 0)
+  | R_echo payload -> Bytes.length payload
+
+let receipt_size = Wire.routing_item + Wire.timestamp + Wire.signature
+let statement_size = (2 * Wire.routing_item) + Wire.timestamp + Wire.signature
+
+let report_size = function
+  | R_neighbor { claimed; _ } -> (2 * Wire.routing_item) + signed_list_size claimed
+  | R_finger { y_table; f_preds; p1_succs; _ } ->
+    signed_table_size y_table + 4 + signed_list_size f_preds + signed_list_size p1_succs
+  | R_table_omission { table; _ } -> (2 * Wire.routing_item) + signed_table_size table
+  | R_dos { relays; _ } -> (List.length relays * Wire.routing_item) + 8
+
+let rec size msg =
+  match msg with
+  | List_req _ | Table_req _ | Ping_req _ | Ping_resp _ | Proofs_req _ -> Wire.header
+  | List_resp { slist; _ } -> Wire.header + signed_list_size slist
+  | Table_resp { table; _ } -> Wire.header + signed_table_size table
+  | Anon_req { query; _ } -> Wire.header + query_payload_size query
+  | Anon_resp { reply; _ } -> Wire.header + reply_payload_size reply
+  | Fwd { hops; query; capsule; _ } ->
+    Wire.header
+    + ((List.length hops + 1) * (Wire.routing_item + 4))
+    + query_payload_size query + Bytes.length capsule
+  | Fwd_reply { reply; capsule; _ } ->
+    Wire.header
+    + (match reply with Some r -> reply_payload_size r | None -> 1)
+    + Bytes.length capsule
+  | Replicate { value; _ } -> Wire.header + 8 + Bytes.length value
+  | Replicate_ack _ -> Wire.header
+  | Receipt_msg _ -> Wire.header + receipt_size
+  | Witness_req { fwd; _ } -> Wire.header + size fwd
+  | Witness_resp { outcome; _ } ->
+    Wire.header + (match outcome with Either.Left _ -> receipt_size | Either.Right _ -> statement_size)
+  | Report_msg { report; _ } -> Wire.header + report_size report
+  | Justify_req _ -> Wire.header + (2 * Wire.routing_item)
+  | Justify_resp { proof; _ } ->
+    Wire.header + (match proof with Some p -> signed_list_size p | None -> 1)
+  | Proofs_resp { proofs; _ } ->
+    Wire.header + List.fold_left (fun acc p -> acc + signed_list_size p) 0 proofs
+  | Evidence_req _ -> Wire.header + 4
+  | Evidence_resp { receipt; statements; _ } ->
+    Wire.header + 1
+    + (match receipt with Some _ -> receipt_size | None -> 0)
+    + (List.length statements * statement_size)

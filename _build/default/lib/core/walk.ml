@@ -1,0 +1,134 @@
+module Peer = Octo_chord.Peer
+module Rtable = Octo_chord.Rtable
+module Rng = Octo_sim.Rng
+module Onion = Octo_crypto.Onion
+
+let table_ok w (_node : World.node) ~expect_owner st = World.verify_table w ~expect_owner st
+
+let verify_phase2 w (node : World.node) ~expected_owner ~seed ~length tables =
+  List.length tables = length + 1
+  && (match tables with
+     | first :: _ -> Peer.equal first.Types.t_owner expected_owner
+     | [] -> false)
+  && List.for_all (fun st -> table_ok w node ~expect_owner:st.Types.t_owner st) tables
+  &&
+  (* Seed consistency: step i's selection from table i must be table i+1's
+     owner. *)
+  let rec consistent i = function
+    | cur :: (next :: _ as rest) -> (
+      match Serve.table_entries cur with
+      | [] -> false
+      | entries ->
+        let pick =
+          List.nth entries (Serve.phase2_index ~seed ~step:i ~count:(List.length entries))
+        in
+        Peer.equal pick next.Types.t_owner && consistent (i + 1) rest)
+    | [ _ ] | [] -> true
+  in
+  consistent 0 tables
+
+let fresh_session w =
+  (World.fresh_sid w, Onion.gen_key w.World.rng)
+
+let run w (node : World.node) k =
+  let cfg = w.World.cfg in
+  let l = cfg.Config.walk_length in
+  let attempts = ref 0 in
+  let rec start () =
+    incr attempts;
+    if !attempts > 3 || not node.World.alive then k None else phase1 ()
+  and phase1 () =
+    match Rtable.fingers node.World.rt with
+    | [] -> k None
+    | fingers -> (
+      let u1 = Rng.choose w.World.rng (Array.of_list fingers) in
+      if u1.Peer.addr = node.World.addr then start ()
+      else begin
+        let sid, key = fresh_session w in
+        (* The first hop is contacted directly (the walk necessarily reveals
+           the initiator to U1). *)
+        World.rpc w ~src:node.World.addr ~dst:u1.Peer.addr
+          ~make:(fun rid ->
+            Types.Anon_req { rid; query = Types.Q_table { session = Some (sid, key) } })
+          ~on_timeout:(fun () -> start ())
+          (fun msg ->
+            match msg with
+            | Types.Anon_resp { reply = Types.R_table st; _ } when table_ok w node ~expect_owner:u1 st ->
+              World.buffer_table w node st;
+              extend [ { World.r_peer = u1; r_sid = sid; r_key = key } ] st 1
+            | _ -> start ())
+      end)
+  and extend relays_rev current_table i =
+    if i >= l then phase2 (List.rev relays_rev) current_table
+    else begin
+      let used p =
+        p.Peer.addr = node.World.addr
+        || List.exists (fun r -> r.World.r_peer.Peer.addr = p.Peer.addr) relays_rev
+      in
+      (* Exclude already-visited hops: a repeated relay cannot appear twice
+         on one onion path (see Query.send). *)
+      let candidates =
+        List.filter (fun p -> not (used p))
+          (Serve.table_entries (World.sanitize_table w node current_table))
+      in
+      match candidates with
+      | [] -> start ()
+      | _ ->
+        let next = Rng.choose w.World.rng (Array.of_list candidates) in
+        let sid, key = fresh_session w in
+        Query.send w node ~relays:(List.rev relays_rev) ~target:next
+          ~query:(Types.Q_table { session = Some (sid, key) })
+          ~timeout:(1.0 +. (0.5 *. float_of_int i))
+          (fun reply ->
+            match reply with
+            | Some (Types.R_table st) when table_ok w node ~expect_owner:next st ->
+              World.buffer_table w node st;
+              extend ({ World.r_peer = next; r_sid = sid; r_key = key } :: relays_rev) st (i + 1)
+            | Some _ | None -> start ())
+    end
+  and phase2 relays _last_table =
+    match List.rev relays with
+    | [] -> k None
+    | ul :: front_rev ->
+      let front = List.rev front_rev in
+      let seed = Rng.int w.World.rng 0x3FFFFFFF in
+      Query.send w node ~relays:front ~target:ul.World.r_peer
+        ~query:(Types.Q_phase2 { seed; length = l })
+        ~timeout:(2.0 +. float_of_int l)
+        (fun reply ->
+          match reply with
+          | Some (Types.R_phase2 tables)
+            when verify_phase2 w node ~expected_owner:ul.World.r_peer ~seed ~length:l tables ->
+            List.iter (World.buffer_table w node) tables;
+            let arr = Array.of_list tables in
+            let c = arr.(l - 1).Types.t_owner and d = arr.(l).Types.t_owner in
+            if Peer.equal c d || c.Peer.addr = node.World.addr || d.Peer.addr = node.World.addr
+            then start ()
+            else establish relays c d
+          | Some _ | None -> start ())
+  and establish relays c d =
+    let sid_c, key_c = fresh_session w in
+    Query.send w node ~relays ~target:c
+      ~query:(Types.Q_establish { sid = sid_c; key = key_c })
+      ~timeout:3.0
+      (fun reply ->
+        match reply with
+        | Some Types.R_ok ->
+          let sid_d, key_d = fresh_session w in
+          Query.send w node ~relays ~target:d
+            ~query:(Types.Q_establish { sid = sid_d; key = key_d })
+            ~timeout:3.0
+            (fun reply ->
+              match reply with
+              | Some Types.R_ok ->
+                k
+                  (Some
+                     {
+                       World.p_first = { World.r_peer = c; r_sid = sid_c; r_key = key_c };
+                       p_second = { World.r_peer = d; r_sid = sid_d; r_key = key_d };
+                       p_born = World.now w;
+                     })
+              | Some _ | None -> start ())
+        | Some _ | None -> start ())
+  in
+  start ()

@@ -1,0 +1,223 @@
+module W = Octo_crypto.Codec.Writer
+module R = Octo_crypto.Codec.Reader
+module Peer = Types.Peer
+module Cert = Octo_crypto.Cert
+
+let encode_peer w (p : Peer.t) =
+  W.u64 w p.Peer.id;
+  W.u32 w p.Peer.addr
+
+let decode_peer r =
+  let id = R.u64 r in
+  let addr = R.u32 r in
+  Peer.make ~id ~addr
+
+(* Signatures and certificates are abstract simulation values; on the wire
+   they are their tag bytes. The registry-oracle signature type is [bytes]
+   underneath, which Obj-free code cannot see — so codecs carry signatures
+   through a dedicated opaque-bytes channel provided by Keys. *)
+let encode_sig w s = W.bytes w (Octo_crypto.Keys.signature_bytes s)
+let decode_sig r = Octo_crypto.Keys.signature_of_bytes (R.bytes r)
+let encode_public w p = W.bytes w (Octo_crypto.Keys.public_bytes p)
+let decode_public r = Octo_crypto.Keys.public_of_bytes (R.bytes r)
+
+let encode_cert w (c : Cert.t) =
+  W.u64 w c.Cert.node_id;
+  W.u32 w c.Cert.addr;
+  encode_public w c.Cert.public;
+  W.f64 w c.Cert.issued_at;
+  W.f64 w c.Cert.expires;
+  encode_sig w c.Cert.tag
+
+let decode_cert r =
+  let node_id = R.u64 r in
+  let addr = R.u32 r in
+  let public = decode_public r in
+  let issued_at = R.f64 r in
+  let expires = R.f64 r in
+  let tag = decode_sig r in
+  { Cert.node_id; addr; public; issued_at; expires; tag }
+
+let kind_tag = function Types.Succ_list -> 0 | Types.Pred_list -> 1
+
+let kind_of_tag = function
+  | 0 -> Types.Succ_list
+  | 1 -> Types.Pred_list
+  | _ -> raise R.Truncated
+
+let encode_signed_list (sl : Types.signed_list) =
+  let w = W.create () in
+  encode_peer w sl.Types.l_owner;
+  W.u8 w (kind_tag sl.Types.l_kind);
+  W.list w (encode_peer w) sl.Types.l_peers;
+  W.f64 w sl.Types.l_time;
+  encode_sig w sl.Types.l_sig;
+  encode_cert w sl.Types.l_cert;
+  W.contents w
+
+let guard name f =
+  try
+    let r = f () in
+    Ok r
+  with R.Truncated | Invalid_argument _ -> Error (name ^ ": malformed input")
+
+let decode_signed_list data =
+  guard "signed_list" (fun () ->
+      let r = R.create data in
+      let l_owner = decode_peer r in
+      let l_kind = kind_of_tag (R.u8 r) in
+      let l_peers = R.list r decode_peer in
+      let l_time = R.f64 r in
+      let l_sig = decode_sig r in
+      let l_cert = decode_cert r in
+      R.expect_end r;
+      { Types.l_owner; l_kind; l_peers; l_time; l_sig; l_cert })
+
+let encode_signed_table (st : Types.signed_table) =
+  let w = W.create () in
+  encode_peer w st.Types.t_owner;
+  W.list w (fun f -> W.option w (encode_peer w) f) st.Types.t_fingers;
+  W.list w (encode_peer w) st.Types.t_succs;
+  W.f64 w st.Types.t_time;
+  encode_sig w st.Types.t_sig;
+  encode_cert w st.Types.t_cert;
+  W.contents w
+
+let decode_signed_table data =
+  guard "signed_table" (fun () ->
+      let r = R.create data in
+      let t_owner = decode_peer r in
+      let t_fingers = R.list r (fun r -> R.option r decode_peer) in
+      let t_succs = R.list r decode_peer in
+      let t_time = R.f64 r in
+      let t_sig = decode_sig r in
+      let t_cert = decode_cert r in
+      R.expect_end r;
+      { Types.t_owner; t_fingers; t_succs; t_time; t_sig; t_cert })
+
+let encode_query (q : Types.anon_query) =
+  let w = W.create () in
+  (match q with
+  | Types.Q_table { session } ->
+    W.u8 w 0;
+    W.option w
+      (fun (sid, key) ->
+        W.u32 w sid;
+        W.bytes w key)
+      session
+  | Types.Q_list kind ->
+    W.u8 w 1;
+    W.u8 w (kind_tag kind)
+  | Types.Q_phase2 { seed; length } ->
+    W.u8 w 2;
+    W.u64 w seed;
+    W.u16 w length
+  | Types.Q_establish { sid; key } ->
+    W.u8 w 3;
+    W.u32 w sid;
+    W.bytes w key
+  | Types.Q_put { key; value } ->
+    W.u8 w 4;
+    W.u64 w key;
+    W.bytes w value
+  | Types.Q_get { key } ->
+    W.u8 w 5;
+    W.u64 w key
+  | Types.Q_echo payload ->
+    W.u8 w 6;
+    W.bytes w payload);
+  W.contents w
+
+let decode_query data =
+  guard "anon_query" (fun () ->
+      let r = R.create data in
+      let q =
+        match R.u8 r with
+        | 0 ->
+          let session =
+            R.option r (fun r ->
+                let sid = R.u32 r in
+                let key = R.bytes r in
+                (sid, key))
+          in
+          Types.Q_table { session }
+        | 1 -> Types.Q_list (kind_of_tag (R.u8 r))
+        | 2 ->
+          let seed = R.u64 r in
+          let length = R.u16 r in
+          Types.Q_phase2 { seed; length }
+        | 3 ->
+          let sid = R.u32 r in
+          let key = R.bytes r in
+          Types.Q_establish { sid; key }
+        | 4 ->
+          let key = R.u64 r in
+          let value = R.bytes r in
+          Types.Q_put { key; value }
+        | 5 -> Types.Q_get { key = R.u64 r }
+        | 6 -> Types.Q_echo (R.bytes r)
+        | _ -> raise R.Truncated
+      in
+      R.expect_end r;
+      q)
+
+let encode_report (rep : Types.report) =
+  let w = W.create () in
+  (match rep with
+  | Types.R_neighbor { reporter; missing; claimed } ->
+    W.u8 w 0;
+    encode_peer w reporter;
+    encode_peer w missing;
+    W.bytes w (encode_signed_list claimed)
+  | Types.R_finger { y_table; index; f_preds; p1_succs } ->
+    W.u8 w 1;
+    W.bytes w (encode_signed_table y_table);
+    W.u16 w index;
+    W.bytes w (encode_signed_list f_preds);
+    W.bytes w (encode_signed_list p1_succs)
+  | Types.R_table_omission { reporter; missing; table } ->
+    W.u8 w 2;
+    encode_peer w reporter;
+    encode_peer w missing;
+    W.bytes w (encode_signed_table table)
+  | Types.R_dos { reporter; relays; cid; sent_at } ->
+    W.u8 w 3;
+    encode_peer w reporter;
+    W.list w (encode_peer w) relays;
+    W.u64 w cid;
+    W.f64 w sent_at);
+  W.contents w
+
+let decode_report data =
+  guard "report" (fun () ->
+      let r = R.create data in
+      let sub_list r = Result.get_ok (decode_signed_list (R.bytes r)) in
+      let sub_table r = Result.get_ok (decode_signed_table (R.bytes r)) in
+      let rep =
+        match R.u8 r with
+        | 0 ->
+          let reporter = decode_peer r in
+          let missing = decode_peer r in
+          let claimed = sub_list r in
+          Types.R_neighbor { reporter; missing; claimed }
+        | 1 ->
+          let y_table = sub_table r in
+          let index = R.u16 r in
+          let f_preds = sub_list r in
+          let p1_succs = sub_list r in
+          Types.R_finger { y_table; index; f_preds; p1_succs }
+        | 2 ->
+          let reporter = decode_peer r in
+          let missing = decode_peer r in
+          let table = sub_table r in
+          Types.R_table_omission { reporter; missing; table }
+        | 3 ->
+          let reporter = decode_peer r in
+          let relays = R.list r decode_peer in
+          let cid = R.u64 r in
+          let sent_at = R.f64 r in
+          Types.R_dos { reporter; relays; cid; sent_at }
+        | _ -> raise R.Truncated
+      in
+      R.expect_end r;
+      rep)

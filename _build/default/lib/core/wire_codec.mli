@@ -1,0 +1,22 @@
+(** Binary wire codecs for Octopus's signed routing structures.
+
+    The event simulator carries messages structurally (sizes accounted by
+    {!Types.size}), but a deployment needs real byte encodings; these
+    codecs provide them, and their round-trip stability is what makes the
+    canonical signature digests meaningful beyond the simulation. Decoding
+    returns [Error] (never raises) on malformed input. *)
+
+val encode_peer : Octo_crypto.Codec.Writer.t -> Types.Peer.t -> unit
+val decode_peer : Octo_crypto.Codec.Reader.t -> Types.Peer.t
+
+val encode_signed_list : Types.signed_list -> bytes
+val decode_signed_list : bytes -> (Types.signed_list, string) result
+
+val encode_signed_table : Types.signed_table -> bytes
+val decode_signed_table : bytes -> (Types.signed_table, string) result
+
+val encode_query : Types.anon_query -> bytes
+val decode_query : bytes -> (Types.anon_query, string) result
+
+val encode_report : Types.report -> bytes
+val decode_report : bytes -> (Types.report, string) result

@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Hashtbl Keys Printf Wire

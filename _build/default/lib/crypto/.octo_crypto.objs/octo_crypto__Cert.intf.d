@@ -1,0 +1,1 @@
+lib/crypto/cert.mli: Keys Octo_sim

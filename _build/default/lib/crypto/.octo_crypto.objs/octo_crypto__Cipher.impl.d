@@ -1,0 +1,1 @@
+lib/crypto/cipher.ml: Bytes Char Hmac

@@ -1,0 +1,1 @@
+lib/crypto/codec.ml: Buffer Bytes Char Int64 List

@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Bytes Char Hashtbl Hmac Int64 Octo_sim Sha256

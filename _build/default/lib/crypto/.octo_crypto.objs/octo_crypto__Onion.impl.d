@@ -1,0 +1,1 @@
+lib/crypto/onion.ml: Bytes Char Cipher Int64 List Octo_sim

@@ -1,0 +1,1 @@
+lib/crypto/onion.mli: Octo_sim

@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: List Sha256 String

@@ -1,0 +1,30 @@
+let key_size = 16
+let nonce_size = 16
+
+let keystream_block ~key ~nonce counter =
+  let msg = Bytes.create (Bytes.length nonce + 8) in
+  Bytes.blit nonce 0 msg 0 (Bytes.length nonce);
+  for i = 0 to 7 do
+    Bytes.set msg
+      (Bytes.length nonce + i)
+      (Char.chr ((counter lsr (8 * (7 - i))) land 0xFF))
+  done;
+  Hmac.mac ~key msg
+
+let encrypt ~key ~nonce plaintext =
+  let len = Bytes.length plaintext in
+  let out = Bytes.create len in
+  let block = ref (keystream_block ~key ~nonce 0) in
+  let counter = ref 0 in
+  for i = 0 to len - 1 do
+    let off = i mod 32 in
+    if off = 0 && i > 0 then begin
+      incr counter;
+      block := keystream_block ~key ~nonce !counter
+    end;
+    Bytes.set out i
+      (Char.chr (Char.code (Bytes.get plaintext i) lxor Char.code (Bytes.get !block off)))
+  done;
+  out
+
+let decrypt = encrypt

@@ -1,0 +1,18 @@
+(** Symmetric stream cipher in counter mode.
+
+    The keystream is [HMAC-SHA256(key, nonce || counter)] blocks, XORed with
+    the plaintext: a standard CTR construction over a PRF. It stands in for
+    the paper's AES-128 onion layers (see DESIGN.md substitutions); its
+    confidentiality against the simulated adversary reduces to the PRF. *)
+
+val key_size : int
+(** 16 bytes, matching the paper's AES-128 parameterization. *)
+
+val nonce_size : int
+(** 16 bytes per layer, counted in wire sizes. *)
+
+val encrypt : key:bytes -> nonce:bytes -> bytes -> bytes
+(** CTR encryption; same length as the input. *)
+
+val decrypt : key:bytes -> nonce:bytes -> bytes -> bytes
+(** Inverse of {!encrypt} (CTR is an involution given key and nonce). *)

@@ -1,0 +1,96 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (v lsr 16);
+    u16 t (v land 0xFFFF)
+
+  let u64 t v =
+    u32 t ((v lsr 32) land 0xFFFFFFFF);
+    u32 t (v land 0xFFFFFFFF)
+
+  let f64 t v =
+    let bits = Int64.bits_of_float v in
+    for i = 7 downto 0 do
+      u8 t (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+    done
+
+  let raw t b = Buffer.add_bytes t b
+
+  let bytes t b =
+    u32 t (Bytes.length b);
+    raw t b
+
+  let list t f l =
+    u16 t (List.length l);
+    List.iter f l
+
+  let option t f = function
+    | None -> u8 t 0
+    | Some v ->
+      u8 t 1;
+      f v
+
+  let contents t = Buffer.to_bytes t
+  let length t = Buffer.length t
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let create data = { data; pos = 0 }
+
+  let need t n = if t.pos + n > Bytes.length t.data then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    (hi lsl 8) lor u8 t
+
+  let u32 t =
+    let hi = u16 t in
+    (hi lsl 16) lor u16 t
+
+  let u64 t =
+    let hi = u32 t in
+    (hi lsl 32) lor u32 t
+
+  let f64 t =
+    let bits = ref 0L in
+    for _ = 0 to 7 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (u8 t))
+    done;
+    Int64.float_of_bits !bits
+
+  let raw t n =
+    need t n;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let bytes t =
+    let n = u32 t in
+    raw t n
+
+  let list t f =
+    let n = u16 t in
+    List.init n (fun _ -> f t)
+
+  let option t f = match u8 t with 0 -> None | _ -> Some (f t)
+  let remaining t = Bytes.length t.data - t.pos
+  let expect_end t = if remaining t <> 0 then raise Truncated
+end

@@ -1,0 +1,50 @@
+(** Binary encoding primitives: a append-only writer and a positional
+    reader with explicit failure on truncated input. Integers are
+    big-endian; variable-size payloads are length-prefixed. Used by the
+    wire codecs for routing state (and by anything that needs canonical
+    bytes to sign). *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+  (** 63-bit OCaml ints, stored in 8 bytes. *)
+
+  val f64 : t -> float -> unit
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed (u32). *)
+
+  val raw : t -> bytes -> unit
+  (** No length prefix. *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** u16 count followed by the elements. *)
+
+  val option : t -> ('a -> unit) -> 'a option -> unit
+  val contents : t -> bytes
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised by any read past the end of input, and by {!expect_end}. *)
+
+  val create : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val f64 : t -> float
+  val bytes : t -> bytes
+  val raw : t -> int -> bytes
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val remaining : t -> int
+  val expect_end : t -> unit
+end

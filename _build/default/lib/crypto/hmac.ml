@@ -1,0 +1,32 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest_bytes key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_pad key byte =
+  Bytes.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad key 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad key 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  Bytes.length tag = Bytes.length expected
+  &&
+  (* Accumulate differences instead of early exit. *)
+  let diff = ref 0 in
+  Bytes.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code (Bytes.get tag i))) expected;
+  !diff = 0

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104), the MAC underlying simulated signatures and
+    keystream derivation. Tested against RFC 4231 vectors. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** 32-byte authentication tag. *)
+
+val mac_string : key:bytes -> string -> bytes
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-shape comparison of a recomputed tag. *)

@@ -1,0 +1,48 @@
+let layer_overhead = Cipher.nonce_size
+
+let gen_key rng =
+  let key = Bytes.create Cipher.key_size in
+  for i = 0 to 1 do
+    let word = Octo_sim.Rng.bits64 rng in
+    for j = 0 to 7 do
+      Bytes.set key
+        ((8 * i) + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
+    done
+  done;
+  key
+
+let gen_nonce rng =
+  let nonce = Bytes.create Cipher.nonce_size in
+  for i = 0 to 1 do
+    let word = Octo_sim.Rng.bits64 rng in
+    for j = 0 to 7 do
+      Bytes.set nonce
+        ((8 * i) + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
+    done
+  done;
+  nonce
+
+let add_layer ~rng ~key payload =
+  let nonce = gen_nonce rng in
+  let cipher = Cipher.encrypt ~key ~nonce payload in
+  Bytes.cat nonce cipher
+
+let wrap ~rng ~keys payload =
+  List.fold_left (fun acc key -> add_layer ~rng ~key acc) payload (List.rev keys)
+
+let peel ~key ciphertext =
+  if Bytes.length ciphertext < Cipher.nonce_size then None
+  else begin
+    let nonce = Bytes.sub ciphertext 0 Cipher.nonce_size in
+    let body =
+      Bytes.sub ciphertext Cipher.nonce_size (Bytes.length ciphertext - Cipher.nonce_size)
+    in
+    Some (Cipher.decrypt ~key ~nonce body)
+  end
+
+let peel_all ~keys ciphertext =
+  List.fold_left
+    (fun acc key -> match acc with None -> None | Some c -> peel ~key c)
+    (Some ciphertext) keys

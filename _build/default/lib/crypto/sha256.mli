@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch in pure OCaml.
+
+    Used as the hash underlying signatures, onion keystreams, and content
+    digests throughout the repository. Tested against the FIPS test
+    vectors. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val update : ctx -> bytes -> unit
+val update_string : ctx -> string -> unit
+
+val finalize : ctx -> bytes
+(** 32-byte digest. The context must not be reused afterwards. *)
+
+val digest_bytes : bytes -> bytes
+val digest_string : string -> bytes
+
+val hex : bytes -> string
+(** Lowercase hex rendering of a digest. *)

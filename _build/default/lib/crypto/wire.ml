@@ -1,0 +1,26 @@
+let header = 36
+let routing_item = 10
+let signature = 40
+let timestamp = 4
+let certificate = 50
+let onion_layer = 16
+let key = 16
+
+let routing_entries n = n * routing_item
+
+let signed_routing_table ~fingers ~succs =
+  routing_entries (fingers + succs) + signature + timestamp + certificate
+
+let signed_list ~entries = routing_entries entries + signature + timestamp + certificate
+
+let onion_wrapped ~layers payload = payload + (layers * (onion_layer + 6))
+
+let digest_parts parts =
+  let ctx = Sha256.init () in
+  List.iter
+    (fun part ->
+      Sha256.update_string ctx (string_of_int (String.length part));
+      Sha256.update_string ctx ":";
+      Sha256.update_string ctx part)
+    parts;
+  Sha256.finalize ctx

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array List Octo_anonymity Octo_chord Octo_sim Octopus Octopus_anon Printf Ring_model String

@@ -1,0 +1,1 @@
+lib/experiments/anonymity_exp.ml: Baseline_anon Hashtbl List Octo_anonymity Octopus_anon Printf Ring_model Timing

@@ -1,0 +1,1 @@
+lib/experiments/anonymity_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/efficiency.ml: Octo_baselines Octo_chord Octo_sim Octopus

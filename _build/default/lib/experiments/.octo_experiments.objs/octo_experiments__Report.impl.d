@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Anonymity_exp Array Efficiency List Octo_sim Printf Security String

@@ -1,0 +1,1 @@
+lib/experiments/security.ml: Float List Octo_sim Octopus Option

@@ -1,0 +1,1 @@
+lib/experiments/security.mli: Octopus

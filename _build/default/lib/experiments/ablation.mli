@@ -1,0 +1,33 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - {b Dummy queries} (§4.2): H(T) leak at 0 / 2 / 6 dummies.
+    - {b Multiple anonymous paths} (§4.2): per-query (Cᵢ, Dᵢ) pairs vs one
+      shared pair for the whole lookup.
+    - {b Proof-queue length} (§4.3): identification accuracy with 2 vs 6
+      retained successor-list proofs.
+    - {b Bound checking} (§4.1/App. I): fraction of malicious relays
+      walked into the pool under fingertable manipulation, with the
+      NISAN-style filter on vs off. *)
+
+type dummy_point = { dummies : int; leak_t : float }
+
+val dummies : ?n:int -> ?trials:int -> ?seed:int -> unit -> dummy_point list
+
+type path_point = { single_path : bool; leak_t : float }
+
+val paths : ?n:int -> ?trials:int -> ?seed:int -> unit -> path_point list
+
+type proof_point = { queue_len : int; fp : float; fa : float; final_malicious : float }
+
+val proof_queue : ?n:int -> ?duration:float -> ?seed:int -> unit -> proof_point list
+
+type bounds_point = { tolerance : float; malicious_relay_fraction : float }
+
+val bound_checking : ?n:int -> ?duration:float -> ?seed:int -> unit -> bounds_point list
+
+val render :
+  dummies:dummy_point list ->
+  paths:path_point list ->
+  proofs:proof_point list ->
+  bounds:bounds_point list ->
+  string

@@ -1,0 +1,32 @@
+(** Anonymity experiments (§6): Figures 5(a)–(c), 6, and Table 1. *)
+
+type point = { f : float; entropy : float; ideal : float; leak : float }
+
+type curve = { label : string; points : point list }
+
+val fig5a :
+  ?n:int -> ?trials:int -> ?seed:int -> ?fs:float list -> unit -> curve list
+(** H(I) of Octopus: dummies in {2, 6} x alpha in {0.5%, 1%}. *)
+
+val fig5c :
+  ?n:int -> ?trials:int -> ?seed:int -> ?fs:float list -> unit -> curve list
+(** H(T) of Octopus, same parameter grid. *)
+
+val fig5b :
+  ?n:int -> ?trials:int -> ?seed:int -> ?fs:float list -> unit -> curve list
+(** H(I) comparison: Octopus / NISAN / Torsk / Chord at alpha = 1%. *)
+
+val fig6 :
+  ?n:int -> ?trials:int -> ?seed:int -> ?fs:float list -> unit -> curve list
+(** H(T) comparison. *)
+
+type table1_row = {
+  max_delay_ms : float;
+  alpha : float;
+  error_rate : float;
+  info_leak_bits : float;
+}
+
+val table1 : ?n:int -> ?trials:int -> ?seed:int -> unit -> table1_row list
+(** Timing-analysis error rates: max delay in {100, 200} ms x alpha in
+    {0.5%, 1%, 5%}. *)

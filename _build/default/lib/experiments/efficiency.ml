@@ -1,0 +1,123 @@
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Latency = Octo_sim.Latency
+module Dist = Octo_sim.Metrics.Dist
+module Id = Octo_chord.Id
+module Network = Octo_chord.Network
+
+type latency_result = {
+  mean : float;
+  median : float;
+  p90 : float;
+  cdf : (float * float) list;
+  succeeded : int;
+  attempted : int;
+}
+
+(* PlanetLab realism: a slice of hosts is slow or overloaded, adding
+   seconds of processing delay per message. Redundant-lookup schemes that
+   wait for every branch (Halo) are hit hardest — the paper's mean/median
+   gap. *)
+let straggler_fraction = 0.05
+
+let add_stragglers net ~n ~seed =
+  let rng = Rng.create ~seed:(seed + 77) in
+  for addr = 0 to n - 1 do
+    if Rng.coin rng straggler_fraction then
+      Octo_sim.Net.set_processing_delay net addr
+        (Some (fun r -> Rng.exponential r ~mean:1.5))
+  done
+
+let result_of dist ~attempted =
+  {
+    mean = Dist.mean dist;
+    median = Dist.median dist;
+    p90 = Dist.percentile dist 0.9;
+    cdf = Dist.cdf dist ~points:40;
+    succeeded = Dist.count dist;
+    attempted;
+  }
+
+(* Spread the measured lookups over a window so concurrent load is
+   realistic but the engine drains between batches. *)
+let drive engine ~lookups ~spacing issue =
+  for i = 0 to lookups - 1 do
+    ignore
+      (Engine.schedule engine ~delay:(float_of_int i *. spacing) (fun () -> issue ()))
+  done;
+  Engine.run engine ~until:((float_of_int lookups *. spacing) +. 30.0)
+
+let octopus_latency ?(n = 207) ?(lookups = 600) ?(seed = 42) () =
+  let engine = Engine.create ~seed () in
+  let lat_rng = Rng.split (Engine.rng engine) in
+  let latency = Latency.create lat_rng ~n:(n + 1) in
+  let w = Octopus.World.create ~fraction_malicious:0.0 engine latency ~n in
+  Octopus.Serve.install w;
+  add_stragglers w.Octopus.World.net ~n ~seed;
+  let _ca = Octopus.Ca.create w in
+  (* Live maintenance (walks keep the relay pools fresh), no measured
+     workload of its own. *)
+  Octopus.Maintain.start
+    ~opts:{ Octopus.Maintain.enable_lookups = false; churn_mean = None; enable_checks = false }
+    w;
+  let rng = Rng.create ~seed:(seed + 1) in
+  let dist = Dist.create () in
+  drive engine ~lookups ~spacing:0.35 (fun () ->
+      let from = Octopus.World.random_alive w rng in
+      let key = Id.random w.Octopus.World.space rng in
+      Octopus.Olookup.anonymous w (Octopus.World.node w from) ~key (fun result ->
+          match result.Octopus.Olookup.owner with
+          | Some _ -> Dist.add dist result.Octopus.Olookup.elapsed
+          | None -> ()));
+  result_of dist ~attempted:lookups
+
+let chord_network ?(n = 207) ~seed () =
+  let engine = Engine.create ~seed () in
+  let lat_rng = Rng.split (Engine.rng engine) in
+  let latency = Latency.create lat_rng ~n in
+  let net = Network.create engine latency ~n in
+  add_stragglers (Network.net net) ~n ~seed;
+  Octo_chord.Stabilize.start net ();
+  (engine, net)
+
+let chord_latency ?(n = 207) ?(lookups = 600) ?(seed = 42) () =
+  let engine, net = chord_network ~n ~seed () in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let dist = Dist.create () in
+  drive engine ~lookups ~spacing:0.2 (fun () ->
+      let from = Network.random_alive net rng in
+      let key = Id.random (Network.space net) rng in
+      Octo_chord.Lookup.run net ~from ~key (fun result ->
+          match result.Octo_chord.Lookup.owner with
+          | Some _ -> Dist.add dist result.Octo_chord.Lookup.elapsed
+          | None -> ()));
+  result_of dist ~attempted:lookups
+
+let halo_latency ?(n = 207) ?(lookups = 600) ?(seed = 42) () =
+  let engine, net = chord_network ~n ~seed () in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let dist = Dist.create () in
+  drive engine ~lookups ~spacing:0.5 (fun () ->
+      let from = Network.random_alive net rng in
+      let key = Id.random (Network.space net) rng in
+      Octo_baselines.Halo.lookup net ~from ~key ~knuckles:8 ~redundancy:4 (fun result ->
+          match result.Octo_baselines.Halo.owner with
+          | Some _ -> Dist.add dist result.Octo_baselines.Halo.elapsed
+          | None -> ()));
+  result_of dist ~attempted:lookups
+
+type bandwidth_row = { scheme : string; lk5 : float; lk10 : float }
+
+let bandwidth_table ?(n = 1_000_000) () =
+  let row name s =
+    {
+      scheme = name;
+      lk5 = Octopus.Bandwidth.kbps ~n ~lookup_interval:300.0 s;
+      lk10 = Octopus.Bandwidth.kbps ~n ~lookup_interval:600.0 s;
+    }
+  in
+  [
+    row "Octopus" Octopus.Bandwidth.Octopus;
+    row "Chord" Octopus.Bandwidth.Chord;
+    row "Halo" Octopus.Bandwidth.Halo;
+  ]

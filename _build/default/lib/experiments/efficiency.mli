@@ -1,0 +1,36 @@
+(** Efficiency experiments (§7): Table 3 and Figure 7(a).
+
+    The paper measured 207 PlanetLab nodes; here the same protocols run on
+    the event simulator over the synthetic WAN latency model (see
+    DESIGN.md substitutions), with 5% of hosts modelled as PlanetLab-style
+    stragglers (exponential ~1.5 s processing delays) — the node
+    heterogeneity that dominates the paper's Halo mean (6.89 s vs its
+    1.79 s median: a redundant-lookup scheme waits for its slowest
+    branch). Lookup latency is measured from the first query to the
+    result; Octopus's middle relay adds its anti-timing random delay of up
+    to 100 ms per message, and its relay-pair pool is maintained by live
+    random walks during the measurement. *)
+
+type latency_result = {
+  mean : float;
+  median : float;
+  p90 : float;
+  cdf : (float * float) list;  (** latency, fraction <= latency *)
+  succeeded : int;
+  attempted : int;
+}
+
+val octopus_latency :
+  ?n:int -> ?lookups:int -> ?seed:int -> unit -> latency_result
+(** Anonymous Octopus lookups from random nodes (default 207 nodes, 600
+    lookups). *)
+
+val chord_latency : ?n:int -> ?lookups:int -> ?seed:int -> unit -> latency_result
+
+val halo_latency : ?n:int -> ?lookups:int -> ?seed:int -> unit -> latency_result
+(** Redundancy 8x4, per the paper's configuration. *)
+
+type bandwidth_row = { scheme : string; lk5 : float; lk10 : float }
+
+val bandwidth_table : ?n:int -> unit -> bandwidth_row list
+(** kbps at lookup intervals of 5 and 10 minutes (Table 3's right half). *)

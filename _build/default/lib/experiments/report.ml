@@ -1,0 +1,165 @@
+module Table = Octo_sim.Metrics.Table
+
+let fmt = Octo_sim.Metrics.fmt_float
+
+let thin every rows =
+  List.filteri (fun i _ -> i mod every = 0 || i = List.length rows - 1) rows
+
+let series ?(every = 1) ~header rows =
+  let h1, h2 = header in
+  Table.render ~header:[ h1; h2 ]
+    (List.map (fun (t, v) -> [ fmt t; fmt v ]) (thin every rows))
+
+let table1 rows =
+  Table.render
+    ~header:[ "max delay"; "alpha"; "error rate"; "info leak (bits)"; "paper error" ]
+    (List.map
+       (fun (r : Anonymity_exp.table1_row) ->
+         let paper =
+           match (int_of_float r.Anonymity_exp.max_delay_ms, r.Anonymity_exp.alpha) with
+           | 100, 0.005 -> "99.35%"
+           | 100, 0.01 -> "99.50%"
+           | 100, 0.05 -> "99.91%"
+           | 200, 0.005 -> "99.60%"
+           | 200, 0.01 -> "99.82%"
+           | 200, 0.05 -> "99.95%"
+           | _ -> "-"
+         in
+         [
+           Printf.sprintf "%.0f ms" r.Anonymity_exp.max_delay_ms;
+           Printf.sprintf "%.1f%%" (r.Anonymity_exp.alpha *. 100.0);
+           Printf.sprintf "%.2f%%" (r.Anonymity_exp.error_rate *. 100.0);
+           Printf.sprintf "%.3f" r.Anonymity_exp.info_leak_bits;
+           paper;
+         ])
+       rows)
+
+let table2 rows =
+  let paper (r : Security.table2_row) =
+    match (r.Security.attack_name, r.Security.lambda_minutes) with
+    | "Lookup Bias", Some 60.0 -> "0 / 0 / 0"
+    | "Lookup Bias", Some 10.0 -> "0 / 0.52% / 0.52%"
+    | "Fingertable Manipulation", Some 60.0 -> "0 / 14.02% / 0.18%"
+    | "Fingertable Manipulation", Some 10.0 -> "0 / 19.55% / 1.55%"
+    | "Fingertable Pollution", Some 60.0 -> "0 / 14.08% / 0.33%"
+    | "Fingertable Pollution", Some 10.0 -> "0 / 18.48% / 2.18%"
+    | _ -> "-"
+  in
+  Table.render
+    ~header:[ "attack"; "lambda"; "FP"; "FN"; "false alarm"; "paper FP/FN/FA" ]
+    (List.map
+       (fun (r : Security.table2_row) ->
+         [
+           r.Security.attack_name;
+           (match r.Security.lambda_minutes with
+           | Some l -> Printf.sprintf "%.0fm" l
+           | None -> "static");
+           Printf.sprintf "%.2f%%" (r.Security.fp *. 100.0);
+           Printf.sprintf "%.2f%%" (r.Security.fn *. 100.0);
+           Printf.sprintf "%.2f%%" (r.Security.fa *. 100.0);
+           paper r;
+         ])
+       rows)
+
+let table3 ~octopus ~chord ~halo ~bandwidth =
+  let lat name (r : Efficiency.latency_result) paper_mean paper_median =
+    [
+      name;
+      Printf.sprintf "%.2f" r.Efficiency.mean;
+      Printf.sprintf "%.2f" r.Efficiency.median;
+      Printf.sprintf "%d/%d" r.Efficiency.succeeded r.Efficiency.attempted;
+      paper_mean;
+      paper_median;
+    ]
+  in
+  let latency_tbl =
+    Table.render
+      ~header:[ "scheme"; "mean (s)"; "median (s)"; "ok"; "paper mean"; "paper median" ]
+      [
+        lat "Octopus" octopus "2.15" "1.61";
+        lat "Chord" chord "1.35" "0.35";
+        lat "Halo" halo "6.89" "1.79";
+      ]
+  in
+  let paper_bw = function
+    | "Octopus" -> ("5.91", "4.30")
+    | "Chord" -> ("0.29", "0.28")
+    | "Halo" -> ("0.71", "0.37")
+    | _ -> ("-", "-")
+  in
+  let bw_tbl =
+    Table.render
+      ~header:
+        [ "scheme"; "kbps @ LK=5min"; "kbps @ LK=10min"; "paper @5min"; "paper @10min" ]
+      (List.map
+         (fun (r : Efficiency.bandwidth_row) ->
+           let p5, p10 = paper_bw r.Efficiency.scheme in
+           [
+             r.Efficiency.scheme;
+             Printf.sprintf "%.2f" r.Efficiency.lk5;
+             Printf.sprintf "%.2f" r.Efficiency.lk10;
+             p5;
+             p10;
+           ])
+         bandwidth)
+  in
+  "Lookup latency:\n" ^ latency_tbl ^ "\nBandwidth (modelled at N = 1,000,000):\n" ^ bw_tbl
+
+let fig_curves curves =
+  String.concat "\n"
+    (List.map
+       (fun (c : Anonymity_exp.curve) ->
+         c.Anonymity_exp.label ^ ":\n"
+         ^ Table.render
+             ~header:[ "f"; "H (bits)"; "ideal"; "leak" ]
+             (List.map
+                (fun (p : Anonymity_exp.point) ->
+                  [
+                    Printf.sprintf "%.2f" p.Anonymity_exp.f;
+                    Printf.sprintf "%.2f" p.Anonymity_exp.entropy;
+                    Printf.sprintf "%.2f" p.Anonymity_exp.ideal;
+                    Printf.sprintf "%.2f" p.Anonymity_exp.leak;
+                  ])
+                c.Anonymity_exp.points))
+       curves)
+
+let security_run ~label (r : Security.result) =
+  Printf.sprintf
+    "%s\n  final malicious fraction: %.3f (started 0.200)\n  reports: %d  FP: %.2f%%  FN: %.2f%%  FA: %.2f%%\n%s"
+    label r.Security.final_malicious_fraction r.Security.reports
+    (r.Security.false_positive *. 100.0)
+    (r.Security.false_negative *. 100.0)
+    (r.Security.false_alarm *. 100.0)
+    (series ~every:3
+       ~header:("time (s)", "remaining malicious fraction")
+       r.Security.mal_frac)
+
+let fig3b (r : Security.result) =
+  (* The two series can have different horizons (biased lookups stop
+     early); pad the shorter with its final value. *)
+  let biased = Array.of_list r.Security.biased_cum in
+  let last_biased =
+    if Array.length biased = 0 then 0.0 else snd biased.(Array.length biased - 1)
+  in
+  let merged =
+    List.mapi
+      (fun i (t, all) ->
+        let b = if i < Array.length biased then snd biased.(i) else last_biased in
+        [ fmt t; fmt all; fmt b ])
+      r.Security.lookups_cum
+  in
+  Table.render ~header:[ "time (s)"; "lookups (cum)"; "biased (cum)" ] merged
+
+let fig7a ~octopus ~chord ~halo =
+  let render name (r : Efficiency.latency_result) =
+    name ^ " CDF:\n"
+    ^ Table.render
+        ~header:[ "latency (s)"; "fraction" ]
+        (List.map
+           (fun (v, p) -> [ Printf.sprintf "%.2f" v; Printf.sprintf "%.3f" p ])
+           (thin 4 r.Efficiency.cdf))
+  in
+  String.concat "\n" [ render "Chord" chord; render "Octopus" octopus; render "Halo" halo ]
+
+let fig7b (r : Security.result) =
+  series ~every:2 ~header:("time (s)", "CA messages (cumulative)") r.Security.ca_msgs_cum

@@ -1,0 +1,32 @@
+(** Text rendering for every reproduced table and figure, including the
+    paper's reference values alongside the measured ones. *)
+
+val series : ?every:int -> header:string * string -> (float * float) list -> string
+(** Two-column table of a time series, optionally thinned to every k-th
+    row. *)
+
+val table1 : Anonymity_exp.table1_row list -> string
+val table2 : Security.table2_row list -> string
+
+val table3 :
+  octopus:Efficiency.latency_result ->
+  chord:Efficiency.latency_result ->
+  halo:Efficiency.latency_result ->
+  bandwidth:Efficiency.bandwidth_row list ->
+  string
+
+val fig_curves : Anonymity_exp.curve list -> string
+(** Entropy-vs-f curves (Figures 5a/5b/5c/6). *)
+
+val security_run : label:string -> Security.result -> string
+(** Summary + malicious-fraction series of a security scenario (Figures
+    3a/3c/4/9). *)
+
+val fig3b : Security.result -> string
+val fig7a :
+  octopus:Efficiency.latency_result ->
+  chord:Efficiency.latency_result ->
+  halo:Efficiency.latency_result ->
+  string
+
+val fig7b : Security.result -> string

@@ -1,0 +1,141 @@
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Latency = Octo_sim.Latency
+module Series = Octo_sim.Metrics.Series
+
+type spec = {
+  n : int;
+  fraction_malicious : float;
+  attack : Octopus.World.attack_kind;
+  attack_rate : float;
+  consistency : float;
+  churn_mean : float option;
+  duration : float;
+  seed : int;
+  enable_lookups : bool;
+}
+
+let default_spec =
+  {
+    n = 1000;
+    fraction_malicious = 0.2;
+    attack = Octopus.World.Bias;
+    attack_rate = 1.0;
+    consistency = 0.5;
+    churn_mean = None;
+    duration = 1000.0;
+    seed = 42;
+    enable_lookups = true;
+  }
+
+type result = {
+  mal_frac : (float * float) list;
+  lookups_cum : (float * float) list;
+  biased_cum : (float * float) list;
+  ca_msgs_cum : (float * float) list;
+  false_positive : float;
+  false_negative : float;
+  false_alarm : float;
+  reports : int;
+  final_malicious_fraction : float;
+}
+
+let run spec =
+  let engine = Engine.create ~seed:spec.seed () in
+  let lat_rng = Rng.split (Engine.rng engine) in
+  let latency = Latency.create lat_rng ~n:(spec.n + 1) in
+  let cfg =
+    if spec.attack = Octopus.World.Selective_dos then { Octopus.Config.default with Octopus.Config.dos_defense = true }
+    else Octopus.Config.default
+  in
+  let w =
+    Octopus.World.create ~cfg ~fraction_malicious:spec.fraction_malicious ~metrics_bucket:10.0 engine
+      latency ~n:spec.n
+  in
+  Octopus.Serve.install w;
+  let _ca = Octopus.Ca.create w in
+  w.Octopus.World.attack <-
+    { Octopus.World.kind = spec.attack; rate = spec.attack_rate; consistency = spec.consistency };
+  Octopus.Maintain.start
+    ~opts:
+      {
+        Octopus.Maintain.enable_lookups = spec.enable_lookups;
+        churn_mean = spec.churn_mean;
+        enable_checks = true;
+      }
+    w;
+  Engine.run engine ~until:spec.duration;
+  let m = w.Octopus.World.metrics in
+  let reports = m.Octopus.World.reports in
+  let fp =
+    if reports = 0 then 0.0 else float_of_int m.Octopus.World.convicted_honest /. float_of_int reports
+  in
+  let fn =
+    if m.Octopus.World.tests_on_attacker = 0 then 0.0
+    else
+      Float.max 0.0
+        (1.0
+        -. (float_of_int m.Octopus.World.convicted_malicious /. float_of_int m.Octopus.World.tests_on_attacker))
+  in
+  let fa =
+    if reports = 0 then 0.0 else float_of_int m.Octopus.World.no_conviction /. float_of_int reports
+  in
+  {
+    mal_frac = Series.rows m.Octopus.World.mal_frac;
+    lookups_cum = Series.cumulative m.Octopus.World.lookups;
+    biased_cum = Series.cumulative m.Octopus.World.biased;
+    ca_msgs_cum = Series.cumulative m.Octopus.World.ca_msgs;
+    false_positive = fp;
+    false_negative = fn;
+    false_alarm = fa;
+    reports;
+    final_malicious_fraction = Octopus.World.malicious_fraction w;
+  }
+
+let scenario attack ?(n = default_spec.n) ?(duration = default_spec.duration)
+    ?(seed = default_spec.seed) ~rate () =
+  run { default_spec with n; duration; seed; attack; attack_rate = rate }
+
+let fig3a = scenario Octopus.World.Bias
+let fig3c = scenario Octopus.World.Finger_manip
+let fig4 = scenario Octopus.World.Pollution
+let fig9 = scenario Octopus.World.Selective_dos
+
+type table2_row = {
+  attack_name : string;
+  lambda_minutes : float option;
+  fp : float;
+  fn : float;
+  fa : float;
+}
+
+let table2 ?(n = default_spec.n) ?(duration = default_spec.duration)
+    ?(seed = default_spec.seed) () =
+  let cell name attack lambda =
+    let res =
+      run
+        {
+          default_spec with
+          n;
+          duration;
+          seed;
+          attack;
+          churn_mean = Option.map (fun m -> m *. 60.0) lambda;
+        }
+    in
+    {
+      attack_name = name;
+      lambda_minutes = lambda;
+      fp = res.false_positive;
+      fn = res.false_negative;
+      fa = res.false_alarm;
+    }
+  in
+  List.concat_map
+    (fun (name, attack) ->
+      [ cell name attack (Some 60.0); cell name attack (Some 10.0) ])
+    [
+      ("Lookup Bias", Octopus.World.Bias);
+      ("Fingertable Manipulation", Octopus.World.Finger_manip);
+      ("Fingertable Pollution", Octopus.World.Pollution);
+    ]

@@ -1,0 +1,1 @@
+lib/sim/churn.ml: Engine List Rng

@@ -1,0 +1,1 @@
+lib/sim/churn.mli: Engine Rng

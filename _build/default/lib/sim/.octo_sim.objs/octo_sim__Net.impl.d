@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Engine Hashtbl Latency Rng

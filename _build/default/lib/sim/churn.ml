@@ -1,0 +1,24 @@
+type t = { mutable stopped : bool; mutable departures : int }
+
+let start engine rng ~mean_lifetime ?(rejoin_delay = 1.0) ~addrs ~on_leave ~on_join () =
+  let t = { stopped = false; departures = 0 } in
+  let rec arm addr =
+    let lifetime = Rng.exponential rng ~mean:mean_lifetime in
+    ignore
+      (Engine.schedule engine ~delay:lifetime (fun () ->
+           if not t.stopped then begin
+             t.departures <- t.departures + 1;
+             on_leave addr;
+             ignore
+               (Engine.schedule engine ~delay:rejoin_delay (fun () ->
+                    if not t.stopped then begin
+                      on_join addr;
+                      arm addr
+                    end))
+           end))
+  in
+  List.iter arm addrs;
+  t
+
+let stop t = t.stopped <- true
+let departures t = t.departures

@@ -1,0 +1,29 @@
+(** Node churn process.
+
+    The paper models churn as an exponential lifetime distribution with
+    mean [lambda] minutes; when a node leaves, a replacement joins so the
+    population stays roughly constant. This module drives that process over
+    an address set: each tracked address gets an exponential lifetime; on
+    expiry [on_leave] fires, then after [rejoin_delay] the slot rejoins via
+    [on_join] (with a fresh identity chosen by the protocol layer) and a new
+    lifetime is drawn. *)
+
+type t
+
+val start :
+  Engine.t ->
+  Rng.t ->
+  mean_lifetime:float ->
+  ?rejoin_delay:float ->
+  addrs:int list ->
+  on_leave:(int -> unit) ->
+  on_join:(int -> unit) ->
+  unit ->
+  t
+(** [mean_lifetime] is in seconds; [rejoin_delay] defaults to 1 s. *)
+
+val stop : t -> unit
+(** Stop scheduling further churn events. *)
+
+val departures : t -> int
+(** Number of leave events fired so far. *)

@@ -1,0 +1,75 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+type handle = event
+
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  master_rng : Rng.t;
+  mutable fired : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.0; queue = Heap.create (); master_rng = Rng.create ~seed; fired = 0 }
+
+let rng t = t.master_rng
+let now t = t.clock
+
+let schedule_at t ~time action =
+  let time = Float.max time t.clock in
+  let ev = { cancelled = false; action } in
+  Heap.push t.queue ~priority:time ev;
+  ev
+
+let schedule t ~delay action = schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action
+
+let cancel ev = ev.cancelled <- true
+
+let every t ?phase ~period f =
+  let phase = match phase with Some p -> p | None -> period in
+  (* The outer handle proxies cancellation to whichever inner event is
+     currently pending. *)
+  let proxy = { cancelled = false; action = (fun () -> ()) } in
+  let rec arm delay =
+    let ev =
+      schedule t ~delay (fun () ->
+          if not proxy.cancelled then if f () then arm period)
+    in
+    ignore ev
+  in
+  arm phase;
+  proxy
+
+let fire t ev =
+  if not ev.cancelled then begin
+    t.fired <- t.fired + 1;
+    ev.action ()
+  end
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some (time, _) when time <= until ->
+      (match Heap.pop t.queue with
+      | Some (time, ev) ->
+        t.clock <- Float.max t.clock time;
+        fire t ev
+      | None -> continue := false)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock until
+
+let run_until_idle t ?(max_events = max_int) () =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.pop t.queue with
+    | Some (time, ev) ->
+      t.clock <- Float.max t.clock time;
+      if not ev.cancelled then decr budget;
+      fire t ev
+    | None -> continue := false
+  done
+
+let events_processed t = t.fired
+let pending t = Heap.size t.queue

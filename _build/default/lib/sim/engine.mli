@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    Events are thunks scheduled at absolute simulated times and fired in
+    time order (FIFO among equal times). All protocol logic in this
+    repository is written in continuation-passing style over this engine, so
+    a whole network run is single-threaded and deterministic. *)
+
+type t
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds an engine whose master {!Rng.t} is seeded with
+    [seed] (default 42). *)
+
+val rng : t -> Rng.t
+(** The engine's master random stream. Subsystems should {!Rng.split} it. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at time [now t +. max 0. delay]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Schedule at an absolute time (clamped to be >= [now t]). *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired event is a no-op. *)
+
+val every : t -> ?phase:float -> period:float -> (unit -> bool) -> handle
+(** [every t ~phase ~period f] first runs [f] at [now + phase] (default: a
+    full [period]), then repeatedly every [period] seconds for as long as
+    [f] returns [true]. The handle cancels future firings. *)
+
+val run : t -> until:float -> unit
+(** Process events in order until the clock would pass [until] (the clock is
+    left at [until]) or no events remain. *)
+
+val run_until_idle : t -> ?max_events:int -> unit -> unit
+(** Process events until none remain or [max_events] fired. *)
+
+val events_processed : t -> int
+(** Total number of events fired so far (for diagnostics). *)
+
+val pending : t -> int
+(** Number of events currently queued (including cancelled ones not yet
+    reaped). *)

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap keyed by [(priority, sequence)].
+
+    Ties on priority are broken by insertion order so that simultaneous
+    simulation events fire FIFO, keeping runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an element with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, FIFO among ties. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

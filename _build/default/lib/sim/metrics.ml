@@ -1,0 +1,170 @@
+module Dist = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = [||]; len = 0; sorted = true }
+
+  let add t v =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ndata = Array.make (Stdlib.max 64 (2 * cap)) 0.0 in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let view = Array.sub t.data 0 t.len in
+      Array.sort compare view;
+      Array.blit view 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let mean t =
+    if t.len = 0 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        acc := !acc +. t.data.(i)
+      done;
+      !acc /. float_of_int t.len
+    end
+
+  let percentile t p =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      let idx = int_of_float (p *. float_of_int (t.len - 1)) in
+      t.data.(Stdlib.max 0 (Stdlib.min (t.len - 1) idx))
+    end
+
+  let median t = percentile t 0.5
+
+  let min t =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      t.data.(0)
+    end
+
+  let max t =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      t.data.(t.len - 1)
+    end
+
+  let stddev t =
+    if t.len < 2 then 0.0
+    else begin
+      let m = mean t in
+      let acc = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        let d = t.data.(i) -. m in
+        acc := !acc +. (d *. d)
+      done;
+      sqrt (!acc /. float_of_int (t.len - 1))
+    end
+
+  let cdf t ~points =
+    if t.len = 0 then []
+    else begin
+      ensure_sorted t;
+      let points = Stdlib.max 2 points in
+      List.init points (fun k ->
+          let frac = float_of_int k /. float_of_int (points - 1) in
+          let idx = int_of_float (frac *. float_of_int (t.len - 1)) in
+          (t.data.(idx), frac))
+    end
+
+  let to_sorted_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.len
+end
+
+module Series = struct
+  type kind = Sum | Gauge
+
+  type t = {
+    bucket : float;
+    table : (int, float) Hashtbl.t;
+    mutable kind : kind;
+    mutable max_bucket : int;
+  }
+
+  let create ~bucket =
+    assert (bucket > 0.0);
+    { bucket; table = Hashtbl.create 64; kind = Sum; max_bucket = -1 }
+
+  let idx t time = int_of_float (time /. t.bucket)
+
+  let touch t i = if i > t.max_bucket then t.max_bucket <- i
+
+  let add t ~time v =
+    let i = idx t time in
+    touch t i;
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt t.table i) in
+    Hashtbl.replace t.table i (cur +. v)
+
+  let set t ~time v =
+    t.kind <- Gauge;
+    let i = idx t time in
+    touch t i;
+    Hashtbl.replace t.table i v
+
+  let rows t =
+    if t.max_bucket < 0 then []
+    else begin
+      let last = ref 0.0 in
+      List.init (t.max_bucket + 1) (fun i ->
+          let time = float_of_int i *. t.bucket in
+          let v =
+            match (Hashtbl.find_opt t.table i, t.kind) with
+            | Some v, _ -> v
+            | None, Sum -> 0.0
+            | None, Gauge -> !last
+          in
+          last := v;
+          (time, v))
+    end
+
+  let cumulative t =
+    let acc = ref 0.0 in
+    List.map
+      (fun (time, v) ->
+        acc := !acc +. v;
+        (time, !acc))
+      (rows t)
+end
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+module Table = struct
+  let render ~header rows =
+    let all = header :: rows in
+    let cols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+    let widths = Array.make cols 0 in
+    let measure row =
+      List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+    in
+    List.iter measure all;
+    let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+    let line row = String.concat "  " (List.mapi pad row) in
+    let sep =
+      String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    in
+    let body = List.map line rows in
+    String.concat "\n" ((line header :: sep :: body) @ [ "" ])
+end

@@ -1,0 +1,60 @@
+(** Measurement utilities: sample distributions, time series, text tables.
+
+    These are the building blocks the benchmark harness uses to print the
+    paper's tables and figure series. *)
+
+(** Distribution of scalar samples (latencies, error rates, ...). *)
+module Dist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val median : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [0, 1]; 0 on empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+
+  val cdf : t -> points:int -> (float * float) list
+  (** [cdf t ~points] returns [(value, fraction <= value)] pairs at evenly
+      spaced fractions, suitable for plotting a CDF (Figure 7a). *)
+
+  val to_sorted_array : t -> float array
+end
+
+(** Time series bucketed at fixed intervals (Figures 3, 4, 7b, 9). *)
+module Series : sig
+  type t
+
+  val create : bucket:float -> t
+  (** [create ~bucket] accumulates values into buckets [bucket] seconds
+      wide. *)
+
+  val add : t -> time:float -> float -> unit
+  (** Accumulate a value into the bucket containing [time]. *)
+
+  val set : t -> time:float -> float -> unit
+  (** Record a gauge value (last write wins within a bucket). *)
+
+  val rows : t -> (float * float) list
+  (** Bucket start time and value, in time order. Gaps filled by carrying
+      the previous gauge value for [set]-style series; [add] buckets default
+      missing entries to 0. *)
+
+  val cumulative : t -> (float * float) list
+  (** Running sum of the bucketed values. *)
+end
+
+(** Fixed-width text tables for harness output. *)
+module Table : sig
+  val render : header:string list -> string list list -> string
+  (** [render ~header rows] lays out a table with column widths fitted to
+      the content. *)
+end
+
+val fmt_float : float -> string
+(** Compact float formatting used in all harness tables. *)

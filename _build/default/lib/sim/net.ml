@@ -1,0 +1,120 @@
+type addr = int
+
+type 'm envelope = {
+  src : addr;
+  dst : addr;
+  size : int;
+  sent_at : float;
+  payload : 'm;
+}
+
+type 'm t = {
+  engine : Engine.t;
+  latency : Latency.t;
+  jitter_rng : Rng.t;
+  handlers : ('m envelope -> unit) option array;
+  alive : bool array;
+  tx : int array;
+  rx : int array;
+  mutable drop_hook : ('m envelope -> bool) option;
+  processing : (Rng.t -> float) option array;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine latency =
+  let n = Latency.n latency in
+  {
+    engine;
+    latency;
+    jitter_rng = Rng.split (Engine.rng engine);
+    handlers = Array.make n None;
+    alive = Array.make n false;
+    tx = Array.make n 0;
+    rx = Array.make n 0;
+    drop_hook = None;
+    processing = Array.make n None;
+    sent = 0;
+    delivered = 0;
+  }
+
+let engine t = t.engine
+let latency t = t.latency
+
+let register t addr handler =
+  t.handlers.(addr) <- Some handler;
+  t.alive.(addr) <- true
+
+let set_alive t addr alive = t.alive.(addr) <- alive
+let is_alive t addr = t.alive.(addr)
+
+let send t ~src ~dst ~size payload =
+  let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
+  t.sent <- t.sent + 1;
+  t.tx.(src) <- t.tx.(src) + size;
+  let dropped = match t.drop_hook with Some hook -> hook env | None -> false in
+  if not dropped then begin
+    let delay = Latency.sample_one_way t.latency t.jitter_rng src dst in
+    let extra =
+      match t.processing.(dst) with Some sampler -> sampler t.jitter_rng | None -> 0.0
+    in
+    ignore
+      (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
+           if t.alive.(dst) then
+             match t.handlers.(dst) with
+             | Some handler ->
+               t.delivered <- t.delivered + 1;
+               t.rx.(dst) <- t.rx.(dst) + size;
+               handler env
+             | None -> ()))
+  end
+
+let set_drop_hook t hook = t.drop_hook <- hook
+let set_processing_delay t addr sampler = t.processing.(addr) <- sampler
+let tx_bytes t addr = t.tx.(addr)
+let rx_bytes t addr = t.rx.(addr)
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+
+module Pending = struct
+  type 'a entry = { k : 'a -> unit; timeout_ev : Engine.handle }
+
+  type 'a t = {
+    engine : Engine.t;
+    table : (int, 'a entry) Hashtbl.t;
+    mutable next_id : int;
+  }
+
+  let create engine = { engine; table = Hashtbl.create 64; next_id = 0 }
+
+  let add t ~timeout ~on_timeout k =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let timeout_ev =
+      Engine.schedule t.engine ~delay:timeout (fun () ->
+          if Hashtbl.mem t.table id then begin
+            Hashtbl.remove t.table id;
+            on_timeout ()
+          end)
+    in
+    Hashtbl.replace t.table id { k; timeout_ev };
+    id
+
+  let resolve t id resp =
+    match Hashtbl.find_opt t.table id with
+    | None -> false
+    | Some entry ->
+      Hashtbl.remove t.table id;
+      Engine.cancel entry.timeout_ev;
+      entry.k resp;
+      true
+
+  let cancel t id =
+    match Hashtbl.find_opt t.table id with
+    | None -> ()
+    | Some entry ->
+      Hashtbl.remove t.table id;
+      Engine.cancel entry.timeout_ev
+
+  let outstanding t = Hashtbl.length t.table
+end

@@ -1,0 +1,73 @@
+(** Simulated message-passing network.
+
+    Nodes are addressed by small integers ("slots"). Sending a message
+    schedules its delivery after the latency-model one-way delay plus
+    jitter. Dead destinations and adversarial drop hooks silently discard
+    messages — exactly the failure modes the protocols must tolerate.
+
+    The payload type ['m] is chosen by the protocol layer. Byte sizes are
+    carried explicitly (computed by [Octo_crypto.Wire]) so that bandwidth
+    accounting reflects the paper's wire format without serializing every
+    message. *)
+
+type addr = int
+
+type 'm envelope = {
+  src : addr;
+  dst : addr;
+  size : int;  (** bytes on the wire *)
+  sent_at : float;
+  payload : 'm;
+}
+
+type 'm t
+
+val create : Engine.t -> Latency.t -> 'm t
+(** The network draws jitter from a split of the engine's RNG. *)
+
+val engine : 'm t -> Engine.t
+val latency : 'm t -> Latency.t
+
+val register : 'm t -> addr -> ('m envelope -> unit) -> unit
+(** Install the handler for a slot and mark it alive. *)
+
+val set_alive : 'm t -> addr -> bool -> unit
+(** Kill or revive a slot; messages to dead slots are dropped. *)
+
+val is_alive : 'm t -> addr -> bool
+
+val send : 'm t -> src:addr -> dst:addr -> size:int -> 'm -> unit
+(** Fire-and-forget send. Loss is silent (the sender learns nothing). *)
+
+val set_drop_hook : 'm t -> ('m envelope -> bool) option -> unit
+(** When the hook returns [true] for an envelope, it is dropped in flight
+    (used to model selective-DoS adversaries). *)
+
+val set_processing_delay : 'm t -> addr -> (Rng.t -> float) option -> unit
+(** Per-node handler delay, sampled per delivered message: models slow or
+    overloaded hosts (the PlanetLab stragglers that dominate tail
+    latencies). [None] (the default) means immediate processing. *)
+
+val tx_bytes : 'm t -> addr -> int
+val rx_bytes : 'm t -> addr -> int
+val messages_sent : 'm t -> int
+val messages_delivered : 'm t -> int
+
+(** Request/response correlation with timeouts, shared by all protocols. *)
+module Pending : sig
+  type 'a t
+
+  val create : Engine.t -> 'a t
+
+  val add : 'a t -> timeout:float -> on_timeout:(unit -> unit) -> ('a -> unit) -> int
+  (** [add t ~timeout ~on_timeout k] registers continuation [k] and returns
+      a fresh request id. If [resolve] is not called within [timeout]
+      simulated seconds, [on_timeout] fires instead, exactly once. *)
+
+  val resolve : 'a t -> int -> 'a -> bool
+  (** Deliver a response to a pending request. Returns [false] if the id is
+      unknown (late or duplicate response). *)
+
+  val cancel : 'a t -> int -> unit
+  val outstanding : 'a t -> int
+end

@@ -1,0 +1,1 @@
+test/test_anonymity.ml: Alcotest Baseline_anon Float Lazy List Octo_anonymity Octo_chord Octopus_anon Presim Printf Range_attack Ring_model Timing

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Castro Halo List Nisan Octo_baselines Octo_chord Octo_sim Option Printf Torsk

@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Bool Bounds Id List Lookup Network Octo_chord Octo_sim Option Peer Printf Proto QCheck QCheck_alcotest Rtable Stabilize

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Cert Cipher Hmac Keys List Octo_crypto Octo_sim Onion Option QCheck QCheck_alcotest Sha256 String Wire

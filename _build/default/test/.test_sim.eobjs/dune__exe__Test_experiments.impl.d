@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Alcotest Anonymity_exp Efficiency Float List Octo_experiments Octopus Printf Report Security String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Churn Engine Float Heap Latency List Metrics Net Octo_sim Option QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Ca Circuits Float Hashtbl List Octo_anonymity Octo_chord Octo_crypto Octo_sim Octopus Option Printf QCheck QCheck_alcotest Serve Store Types Wire_codec World

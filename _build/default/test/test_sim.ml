@@ -1,0 +1,618 @@
+(* Tests for the simulation substrate: RNG, heap, engine, latency model,
+   metrics, network layer, churn. *)
+
+open Octo_sim
+
+let float_eps = 1e-9
+let check_float msg expected actual = Alcotest.(check (float float_eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  (* Drawing from b must not change a's continuation. *)
+  let a2 = Rng.copy a in
+  for _ = 1 to 50 do
+    ignore (Rng.bits64 b)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "a unaffected by b" (Rng.bits64 a2) (Rng.bits64 a)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create ~seed:12 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 3 7 in
+    Alcotest.(check bool) "in [3,7]" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun x -> x) seen)
+
+let test_rng_unit_float () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let v = Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:14 in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~mean:3.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 3.0" true (Float.abs (mean -. 3.0) < 0.1)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:15 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng ~mu:2.0 ~sigma:0.5 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 2.0" true (Float.abs (mean -. 2.0) < 0.02);
+  Alcotest.(check bool) "sigma ~ 0.5" true (Float.abs (sqrt var -. 0.5) < 0.02)
+
+let test_rng_coin () =
+  let rng = Rng.create ~seed:16 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.coin rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p ~ 0.3" true (Float.abs (p -. 0.3) < 0.01)
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create ~seed:17 in
+  let arr = Array.init 100 (fun i -> i) in
+  for _ = 1 to 100 do
+    let s = Rng.sample rng ~k:10 arr in
+    Alcotest.(check int) "sample size" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 1 to 9 do
+      Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+    done
+  done
+
+let test_rng_sample_small_pool () =
+  let rng = Rng.create ~seed:18 in
+  let s = Rng.sample rng ~k:10 [| 1; 2; 3 |] in
+  Alcotest.(check int) "clamped" 3 (Array.length s)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create ~seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let prop_permutation_valid =
+  QCheck.Test.make ~name:"permutation is a bijection" ~count:100
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let p = Rng.permutation rng n in
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      Array.to_list sorted = List.init n (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h ~priority:p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check (option (pair (float float_eps) string))) "peek" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float float_eps) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float float_eps) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float float_eps) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~priority:5.0 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list int)) "FIFO among equal priorities" [ 1; 2; 3; 4 ] order
+
+let test_heap_size_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  Alcotest.(check int) "size" 10 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.size h);
+  Alcotest.(check (option (pair (float float_eps) int))) "pop empty" None (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun l ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p p) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.stable_sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log));
+  Engine.run e ~until:10.0;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at until" 10.0 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e ~until:5.0;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         times := Engine.now e :: !times;
+         ignore (Engine.schedule e ~delay:0.5 (fun () -> times := Engine.now e :: !times))));
+  Engine.run e ~until:10.0;
+  Alcotest.(check (list (float float_eps))) "nested times" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Engine.every e ~period:1.0 (fun () ->
+         incr count;
+         !count < 5));
+  Engine.run e ~until:100.0;
+  Alcotest.(check int) "stops when false" 5 !count
+
+let test_engine_every_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h =
+    Engine.every e ~period:1.0 (fun () ->
+        incr count;
+        true)
+  in
+  ignore (Engine.schedule e ~delay:3.5 (fun () -> Engine.cancel h));
+  Engine.run e ~until:100.0;
+  Alcotest.(check int) "cancelled after 3 firings" 3 !count
+
+let test_engine_run_until_boundary () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:5.1 (fun () -> incr fired));
+  Engine.run e ~until:5.0;
+  Alcotest.(check int) "inclusive boundary" 1 !fired;
+  Engine.run e ~until:6.0;
+  Alcotest.(check int) "rest delivered" 2 !fired
+
+let test_engine_past_delay_clamped () =
+  let e = Engine.create () in
+  Engine.run e ~until:10.0;
+  let at = ref 0.0 in
+  ignore (Engine.schedule e ~delay:(-5.0) (fun () -> at := Engine.now e));
+  Engine.run_until_idle e ();
+  check_float "clamped to now" 10.0 !at
+
+let test_engine_run_until_idle_budget () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Engine.every e ~period:1.0 (fun () ->
+         incr count;
+         true));
+  Engine.run_until_idle e ~max_events:10 ();
+  Alcotest.(check int) "bounded" 10 !count
+
+(* ------------------------------------------------------------------ *)
+(* Latency *)
+
+let make_latency ?(n = 120) () =
+  let rng = Rng.create ~seed:99 in
+  Latency.create rng ~n
+
+let test_latency_self_zero () =
+  let l = make_latency () in
+  check_float "rtt self" 0.0 (Latency.rtt l 5 5)
+
+let test_latency_symmetric_positive () =
+  let l = make_latency () in
+  for _ = 1 to 200 do
+    let rng = Rng.create ~seed:5 in
+    let i = Rng.int rng 120 and j = Rng.int rng 120 in
+    if i <> j then begin
+      check_float "symmetric" (Latency.rtt l i j) (Latency.rtt l j i);
+      Alcotest.(check bool) "positive" true (Latency.rtt l i j > 0.0)
+    end
+  done
+
+let test_latency_calibrated_mean () =
+  let l = make_latency ~n:300 () in
+  let rng = Rng.create ~seed:123 in
+  let total = ref 0.0 and count = 10_000 in
+  let drawn = ref 0 in
+  while !drawn < count do
+    let i = Rng.int rng 300 and j = Rng.int rng 300 in
+    if i <> j then begin
+      total := !total +. Latency.rtt l i j;
+      incr drawn
+    end
+  done;
+  let mean = !total /. float_of_int count in
+  Alcotest.(check bool) "mean rtt ~ 0.182" true (Float.abs (mean -. 0.182) < 0.02)
+
+let test_latency_jitter_bound () =
+  let l = make_latency () in
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 500 do
+    let i = Rng.int rng 120 and j = Rng.int rng 120 in
+    if i <> j then begin
+      let bound = Latency.jitter_bound l i j in
+      Alcotest.(check bool) "bound <= 10ms" true (bound <= 0.010 +. float_eps);
+      Alcotest.(check bool) "bound <= 10% lat" true
+        (bound <= (0.1 *. Latency.one_way l i j) +. float_eps);
+      let d = Latency.sample_one_way l rng i j in
+      Alcotest.(check bool) "sample within jitter" true
+        (d >= Latency.one_way l i j -. float_eps
+        && d <= Latency.one_way l i j +. bound +. float_eps)
+    end
+  done
+
+let test_latency_heterogeneous () =
+  let l = make_latency ~n:300 () in
+  (* A heavy-tailed model should have median well under the mean. *)
+  Alcotest.(check bool) "median < mean" true (Latency.median_rtt l < Latency.mean_rtt l)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_dist_stats () =
+  let d = Metrics.Dist.create () in
+  List.iter (Metrics.Dist.add d) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.Dist.count d);
+  check_float "mean" 3.0 (Metrics.Dist.mean d);
+  check_float "median" 3.0 (Metrics.Dist.median d);
+  check_float "min" 1.0 (Metrics.Dist.min d);
+  check_float "max" 5.0 (Metrics.Dist.max d);
+  check_float "p0" 1.0 (Metrics.Dist.percentile d 0.0);
+  check_float "p100" 5.0 (Metrics.Dist.percentile d 1.0)
+
+let test_dist_add_after_sort () =
+  let d = Metrics.Dist.create () in
+  List.iter (Metrics.Dist.add d) [ 2.0; 1.0 ];
+  ignore (Metrics.Dist.median d);
+  Metrics.Dist.add d 0.5;
+  check_float "median after re-add" 1.0 (Metrics.Dist.median d)
+
+let test_dist_cdf () =
+  let d = Metrics.Dist.create () in
+  for i = 1 to 100 do
+    Metrics.Dist.add d (float_of_int i)
+  done;
+  let cdf = Metrics.Dist.cdf d ~points:5 in
+  Alcotest.(check int) "points" 5 (List.length cdf);
+  let values = List.map fst cdf in
+  Alcotest.(check bool) "monotone" true (List.sort compare values = values);
+  check_float "last is max" 100.0 (fst (List.nth cdf 4))
+
+let test_dist_stddev () =
+  let d = Metrics.Dist.create () in
+  List.iter (Metrics.Dist.add d) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check bool) "stddev ~ 2.14" true (Float.abs (Metrics.Dist.stddev d -. 2.138) < 0.01)
+
+let test_series_sum () =
+  let s = Metrics.Series.create ~bucket:10.0 in
+  Metrics.Series.add s ~time:1.0 1.0;
+  Metrics.Series.add s ~time:5.0 2.0;
+  Metrics.Series.add s ~time:15.0 4.0;
+  Metrics.Series.add s ~time:35.0 8.0;
+  Alcotest.(check (list (pair (float float_eps) (float float_eps))))
+    "bucketed with gap" [ (0.0, 3.0); (10.0, 4.0); (20.0, 0.0); (30.0, 8.0) ]
+    (Metrics.Series.rows s)
+
+let test_series_gauge_carry () =
+  let s = Metrics.Series.create ~bucket:1.0 in
+  Metrics.Series.set s ~time:0.0 5.0;
+  Metrics.Series.set s ~time:3.0 7.0;
+  Alcotest.(check (list (pair (float float_eps) (float float_eps))))
+    "carried gauge" [ (0.0, 5.0); (1.0, 5.0); (2.0, 5.0); (3.0, 7.0) ]
+    (Metrics.Series.rows s)
+
+let test_series_cumulative () =
+  let s = Metrics.Series.create ~bucket:1.0 in
+  Metrics.Series.add s ~time:0.5 1.0;
+  Metrics.Series.add s ~time:1.5 2.0;
+  Metrics.Series.add s ~time:2.5 3.0;
+  Alcotest.(check (list (pair (float float_eps) (float float_eps))))
+    "running sum" [ (0.0, 1.0); (1.0, 3.0); (2.0, 6.0) ]
+    (Metrics.Series.cumulative s)
+
+let test_table_render () =
+  let s = Metrics.Table.render ~header:[ "a"; "long header" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "has rows" true (String.length s > 0);
+  (* header + separator + 2 rows + trailing newline *)
+  Alcotest.(check int) "line count" 5 (List.length (String.split_on_char '\n' s))
+
+(* ------------------------------------------------------------------ *)
+(* Net *)
+
+let make_net () =
+  let e = Engine.create ~seed:5 () in
+  let rng = Rng.create ~seed:50 in
+  let l = Latency.create rng ~n:10 in
+  (e, Net.create e l)
+
+let test_net_delivery () =
+  let e, net = make_net () in
+  let got = ref None in
+  Net.register net 1 (fun env -> got := Some env.Net.payload);
+  Net.register net 0 (fun _ -> ());
+  Net.send net ~src:0 ~dst:1 ~size:100 "hello";
+  Engine.run_until_idle e ();
+  Alcotest.(check (option string)) "delivered" (Some "hello") !got;
+  Alcotest.(check bool) "delivery delayed" true (Engine.now e > 0.0)
+
+let test_net_dead_drop () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Net.register net 1 (fun _ -> incr got);
+  Net.set_alive net 1 false;
+  Net.send net ~src:0 ~dst:1 ~size:10 "x";
+  Engine.run_until_idle e ();
+  Alcotest.(check int) "dropped" 0 !got;
+  Net.set_alive net 1 true;
+  Net.send net ~src:0 ~dst:1 ~size:10 "y";
+  Engine.run_until_idle e ();
+  Alcotest.(check int) "revived" 1 !got
+
+let test_net_drop_hook () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Net.register net 1 (fun _ -> incr got);
+  Net.set_drop_hook net (Some (fun env -> env.Net.src = 0));
+  Net.send net ~src:0 ~dst:1 ~size:10 "dropped";
+  Net.send net ~src:2 ~dst:1 ~size:10 "kept";
+  Engine.run_until_idle e ();
+  Alcotest.(check int) "hook filtered" 1 !got
+
+let test_net_byte_accounting () =
+  let e, net = make_net () in
+  Net.register net 1 (fun _ -> ());
+  Net.send net ~src:0 ~dst:1 ~size:111 "a";
+  Net.send net ~src:0 ~dst:1 ~size:222 "b";
+  Engine.run_until_idle e ();
+  Alcotest.(check int) "tx" 333 (Net.tx_bytes net 0);
+  Alcotest.(check int) "rx" 333 (Net.rx_bytes net 1);
+  Alcotest.(check int) "sent" 2 (Net.messages_sent net);
+  Alcotest.(check int) "delivered" 2 (Net.messages_delivered net)
+
+let test_net_tx_counted_even_when_dropped () =
+  let e, net = make_net () in
+  Net.register net 1 (fun _ -> ());
+  Net.set_alive net 1 false;
+  Net.send net ~src:0 ~dst:1 ~size:50 "x";
+  Engine.run_until_idle e ();
+  Alcotest.(check int) "tx counted" 50 (Net.tx_bytes net 0);
+  Alcotest.(check int) "rx not counted" 0 (Net.rx_bytes net 1)
+
+let test_pending_resolve () =
+  let e = Engine.create () in
+  let p = Net.Pending.create e in
+  let got = ref None and timed_out = ref false in
+  let rid =
+    Net.Pending.add p ~timeout:5.0 ~on_timeout:(fun () -> timed_out := true) (fun v -> got := Some v)
+  in
+  Alcotest.(check bool) "resolve ok" true (Net.Pending.resolve p rid "resp");
+  Alcotest.(check bool) "duplicate rejected" false (Net.Pending.resolve p rid "resp2");
+  Engine.run e ~until:10.0;
+  Alcotest.(check (option string)) "value" (Some "resp") !got;
+  Alcotest.(check bool) "no timeout after resolve" false !timed_out
+
+let test_pending_timeout () =
+  let e = Engine.create () in
+  let p = Net.Pending.create e in
+  let timed_out = ref false in
+  let rid =
+    Net.Pending.add p ~timeout:2.0 ~on_timeout:(fun () -> timed_out := true) (fun _ -> ())
+  in
+  Engine.run e ~until:10.0;
+  Alcotest.(check bool) "timed out" true !timed_out;
+  Alcotest.(check bool) "late resolve rejected" false (Net.Pending.resolve p rid "late")
+
+let test_pending_cancel () =
+  let e = Engine.create () in
+  let p = Net.Pending.create e in
+  let timed_out = ref false in
+  let rid =
+    Net.Pending.add p ~timeout:2.0 ~on_timeout:(fun () -> timed_out := true) (fun _ -> ())
+  in
+  Net.Pending.cancel p rid;
+  Engine.run e ~until:10.0;
+  Alcotest.(check bool) "no timeout after cancel" false !timed_out;
+  Alcotest.(check int) "outstanding" 0 (Net.Pending.outstanding p)
+
+(* ------------------------------------------------------------------ *)
+(* Churn *)
+
+let test_churn_cycle () =
+  let e = Engine.create ~seed:1 () in
+  let rng = Rng.create ~seed:2 in
+  let leaves = ref [] and joins = ref [] in
+  let c =
+    Churn.start e rng ~mean_lifetime:10.0 ~rejoin_delay:1.0 ~addrs:[ 0; 1; 2 ]
+      ~on_leave:(fun a -> leaves := a :: !leaves)
+      ~on_join:(fun a -> joins := a :: !joins)
+      ()
+  in
+  Engine.run e ~until:200.0;
+  Alcotest.(check bool) "several departures" true (Churn.departures c > 10);
+  Alcotest.(check bool) "joins track leaves" true
+    (List.length !joins >= List.length !leaves - 3)
+
+let test_churn_stop () =
+  let e = Engine.create ~seed:1 () in
+  let rng = Rng.create ~seed:2 in
+  let c =
+    Churn.start e rng ~mean_lifetime:5.0 ~addrs:[ 0 ] ~on_leave:(fun _ -> ())
+      ~on_join:(fun _ -> ()) ()
+  in
+  Engine.run e ~until:20.0;
+  Churn.stop c;
+  let before = Churn.departures c in
+  Engine.run e ~until:500.0;
+  Alcotest.(check int) "no departures after stop" before (Churn.departures c)
+
+let prop_dist_sorted =
+  QCheck.Test.make ~name:"dist sorted array is sorted & complete" ~count:200
+    QCheck.(list (float_bound_exclusive 100.0))
+    (fun l ->
+      let d = Metrics.Dist.create () in
+      List.iter (Metrics.Dist.add d) l;
+      let arr = Metrics.Dist.to_sorted_array d in
+      Array.length arr = List.length l
+      && List.sort compare l = Array.to_list arr)
+
+let prop_series_cumulative_monotone =
+  QCheck.Test.make ~name:"series cumulative is monotone for positive adds" ~count:100
+    QCheck.(list (pair (float_bound_exclusive 100.0) (float_bound_exclusive 10.0)))
+    (fun samples ->
+      let s = Metrics.Series.create ~bucket:5.0 in
+      List.iter (fun (t, v) -> Metrics.Series.add s ~time:t v) samples;
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      monotone (Metrics.Series.cumulative s))
+
+let test_latency_deterministic () =
+  let l1 = make_latency () and l2 = make_latency () in
+  for i = 0 to 50 do
+    for j = 0 to 50 do
+      check_float "same seeds, same space" (Latency.rtt l1 i j) (Latency.rtt l2 i j)
+    done
+  done
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "octo_sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "unit_float range" `Quick test_rng_unit_float;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "coin bias" `Quick test_rng_coin;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "sample small pool" `Quick test_rng_sample_small_pool;
+        ]
+        @ qsuite [ prop_shuffle_is_permutation; prop_permutation_valid ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "size and clear" `Quick test_heap_size_clear;
+        ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "every stops" `Quick test_engine_every;
+          Alcotest.test_case "every cancel" `Quick test_engine_every_cancel;
+          Alcotest.test_case "run boundary" `Quick test_engine_run_until_boundary;
+          Alcotest.test_case "past delay clamped" `Quick test_engine_past_delay_clamped;
+          Alcotest.test_case "idle budget" `Quick test_engine_run_until_idle_budget;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "self zero" `Quick test_latency_self_zero;
+          Alcotest.test_case "symmetric positive" `Quick test_latency_symmetric_positive;
+          Alcotest.test_case "calibrated mean" `Quick test_latency_calibrated_mean;
+          Alcotest.test_case "jitter bound" `Quick test_latency_jitter_bound;
+          Alcotest.test_case "heterogeneous" `Quick test_latency_heterogeneous;
+          Alcotest.test_case "deterministic" `Quick test_latency_deterministic;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "dist stats" `Quick test_dist_stats;
+          Alcotest.test_case "dist add after sort" `Quick test_dist_add_after_sort;
+          Alcotest.test_case "dist cdf" `Quick test_dist_cdf;
+          Alcotest.test_case "dist stddev" `Quick test_dist_stddev;
+          Alcotest.test_case "series sum" `Quick test_series_sum;
+          Alcotest.test_case "series gauge carry" `Quick test_series_gauge_carry;
+          Alcotest.test_case "series cumulative" `Quick test_series_cumulative;
+          Alcotest.test_case "table render" `Quick test_table_render;
+        ]
+        @ qsuite [ prop_dist_sorted; prop_series_cumulative_monotone ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "dead drop" `Quick test_net_dead_drop;
+          Alcotest.test_case "drop hook" `Quick test_net_drop_hook;
+          Alcotest.test_case "byte accounting" `Quick test_net_byte_accounting;
+          Alcotest.test_case "tx counted when dropped" `Quick test_net_tx_counted_even_when_dropped;
+          Alcotest.test_case "pending resolve" `Quick test_pending_resolve;
+          Alcotest.test_case "pending timeout" `Quick test_pending_timeout;
+          Alcotest.test_case "pending cancel" `Quick test_pending_cancel;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "cycle" `Quick test_churn_cycle;
+          Alcotest.test_case "stop" `Quick test_churn_stop;
+        ] );
+    ]
