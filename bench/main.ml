@@ -212,8 +212,38 @@ let reproduce () =
   print_endline "\n-- Figure 7(a): latency CDFs --";
   print_string (Report.fig7a ~octopus ~chord ~halo)
 
+(* Traced scenario with the online invariant checker: a correctness gate
+   on the same machinery the kernels exercise. Off the default path so
+   plain kernel timings stay untouched. *)
+let run_checked () =
+  let trace_file =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--trace" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let r = Octo_experiments.Tracecheck.run () in
+  Printf.printf "check: %d events, %d lookups (%d converged)\n"
+    (Octo_sim.Trace.seen r.Octo_experiments.Tracecheck.trace)
+    r.Octo_experiments.Tracecheck.lookups_done
+    r.Octo_experiments.Tracecheck.lookups_converged;
+  (match trace_file with
+  | Some path ->
+    let oc = open_out path in
+    Octo_sim.Trace.dump_jsonl r.Octo_experiments.Tracecheck.trace oc;
+    close_out oc
+  | None -> ());
+  Octopus.Invariant.report r.Octo_experiments.Tracecheck.checker Format.std_formatter;
+  if not (Octopus.Invariant.ok r.Octo_experiments.Tracecheck.checker) then exit 1
+
 let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let skip_repro = Array.exists (fun a -> a = "--micro-only") Sys.argv in
-  if not skip_micro then run_bechamel ();
-  if not skip_repro then reproduce ()
+  let check = Array.exists (fun a -> a = "--check-invariants") Sys.argv in
+  if check then run_checked ()
+  else begin
+    if not skip_micro then run_bechamel ();
+    if not skip_repro then reproduce ()
+  end

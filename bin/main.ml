@@ -203,9 +203,68 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc:"Every artifact at reduced scale") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* trace: structured tracing + invariant checking *)
+
+let trace_cmd =
+  let run n duration seed trace_file check misroute =
+    if n < 8 then begin
+      prerr_endline "octopus-repro: trace needs -n >= 8 (successor-list bootstrap)";
+      exit 2
+    end;
+    (* Fail on an unwritable trace path before simulating, not after. *)
+    let trace_out =
+      match trace_file with
+      | None -> None
+      | Some path -> (
+        try Some (path, open_out path)
+        with Sys_error e ->
+          Printf.eprintf "octopus-repro: cannot write trace file: %s\n" e;
+          exit 2)
+    in
+    if misroute then
+      Octopus.Olookup.test_misroute :=
+        Some (fun (peer : Octopus.Olookup.Peer.t) -> { peer with Octopus.Olookup.Peer.id = peer.Octopus.Olookup.Peer.id + 1 });
+    let r = Tracecheck.run ~n ~duration ~seed () in
+    Octopus.Olookup.test_misroute := None;
+    Printf.printf "trace: %d events captured (%d retained), %d lookups (%d converged)\n"
+      (Octo_sim.Trace.seen r.Tracecheck.trace)
+      (List.length (Octo_sim.Trace.events r.Tracecheck.trace))
+      r.Tracecheck.lookups_done r.Tracecheck.lookups_converged;
+    (match trace_out with
+    | Some (path, oc) ->
+      Octo_sim.Trace.dump_jsonl r.Tracecheck.trace oc;
+      close_out oc;
+      Printf.printf "trace: events written to %s\n" path
+    | None -> ());
+    if check then begin
+      Octopus.Invariant.report r.Tracecheck.checker Format.std_formatter;
+      if not (Octopus.Invariant.ok r.Tracecheck.checker) then exit 1
+    end
+  in
+  let n = Arg.(value & opt int 80 & info [ "n" ] ~doc:"Network size.") in
+  let duration = Arg.(value & opt float 120.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the captured event stream to $(docv) as JSON Lines.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Run the online invariant checker; exit 1 on any violation.")
+  in
+  let misroute =
+    Arg.(value & flag & info [ "inject-misroute" ]
+           ~doc:"Deliberately corrupt lookup results (test hook) — the checker must catch it.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Traced end-to-end scenario with online invariant checking")
+    Term.(const run $ n $ duration $ seed $ trace_file $ check $ misroute)
+
 let () =
   let doc = "Octopus: anonymous and secure DHT lookup — paper reproduction harness" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "octopus-repro" ~doc)
-          [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; all_cmd ]))
+          [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; trace_cmd;
+            all_cmd ]))

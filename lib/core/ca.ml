@@ -3,6 +3,7 @@ module Id = Octo_chord.Id
 module Net = Octo_sim.Net
 module Series = Octo_sim.Metrics.Series
 module Cert = Octo_crypto.Cert
+module Trace = Octo_sim.Trace
 
 type t = { w : World.t; mutable received : int; strikes : (int, int) Hashtbl.t }
 
@@ -15,6 +16,10 @@ let messages_received t = t.received
 
 let conclude w outcome =
   let m = w.World.metrics in
+  if Trace.on () then begin
+    let convicted = match outcome with Convicted addrs -> addrs | Nothing -> [] in
+    Trace.emit ~time:(World.now w) ~node:w.World.ca_addr (Trace.Ca_outcome { convicted })
+  end;
   match outcome with
   | Convicted addrs ->
     (* FP counts *fresh* honest revocations: duplicate reports against an
@@ -566,9 +571,18 @@ let principal = function
   | Types.R_finger { y_table; _ } -> Some y_table.Types.t_owner
   | Types.R_dos _ -> None
 
+let report_kind = function
+  | Types.R_neighbor _ -> "neighbor"
+  | Types.R_finger _ -> "finger"
+  | Types.R_table_omission _ -> "table_omission"
+  | Types.R_dos _ -> "dos"
+
 let handle_report t report =
   let w = t.w in
   w.World.metrics.World.reports <- w.World.metrics.World.reports + 1;
+  if Trace.on () then
+    Trace.emit ~time:(World.now w) ~node:w.World.ca_addr
+      (Trace.Ca_report { kind = report_kind report });
   let k outcome = conclude w outcome in
   let already_revoked =
     match principal report with

@@ -1,6 +1,7 @@
 module Peer = Octo_chord.Peer
 module Id = Octo_chord.Id
 module Onion = Octo_crypto.Onion
+module Trace = Octo_sim.Trace
 
 type t = {
   relays : Peer.t list;
@@ -22,9 +23,14 @@ let anon_establish w node ~target k =
   | _ -> k None
 
 let build w (node : World.node) ?(hops = 3) k =
+  let torn reason =
+    if Trace.on () then
+      Trace.emit ~time:(World.now w) ~node:node.World.addr (Trace.Circuit_torn { reason });
+    k None
+  in
   let rec select chosen attempts =
     if List.length chosen = hops then establish (List.rev chosen) []
-    else if attempts > 5 * hops then k None
+    else if attempts > 5 * hops then torn "select-exhausted"
     else begin
       let key = Id.random w.World.space w.World.rng in
       Olookup.anonymous w node ~key (fun result ->
@@ -38,18 +44,21 @@ let build w (node : World.node) ?(hops = 3) k =
   and establish relays sessions_rev =
     match relays with
     | [] ->
-      k
-        (Some
-           {
-             relays = List.map (fun s -> s.World.r_peer) (List.rev sessions_rev);
-             sessions = List.rev sessions_rev;
-             built_at = World.now w;
-           })
+      let sessions = List.rev sessions_rev in
+      let relays = List.map (fun s -> s.World.r_peer) sessions in
+      if Trace.on () then
+        Trace.emit ~time:(World.now w) ~node:node.World.addr
+          (Trace.Circuit_built { relays = List.map (fun p -> p.Peer.addr) relays });
+      k (Some { relays; sessions; built_at = World.now w })
     | relay :: rest ->
       anon_establish w node ~target:relay (fun session ->
           match session with
-          | Some s -> establish rest (s :: sessions_rev)
-          | None -> k None)
+          | Some s ->
+            if Trace.on () then
+              Trace.emit ~time:(World.now w) ~node:node.World.addr
+                (Trace.Circuit_relay { relay = relay.Peer.addr });
+            establish rest (s :: sessions_rev)
+          | None -> torn "establish-failed")
   in
   select [] 0
 

@@ -1,0 +1,56 @@
+(** Online invariant checker over the {!Octo_sim.Trace} stream.
+
+    Subscribes to an installed trace sink and asserts, while a simulation
+    runs:
+
+    + every converged lookup names the true successor computed from the
+      global {!World} view;
+    + anonymous-path relays are pairwise distinct and never include the
+      initiator (also checked for built circuits);
+    + per-message sizes respect the paper's byte budget from
+      {!Octo_crypto.Wire} (header floor, exact ping/ack/receipt sizes,
+      signed-document floors), and — at {!finish} — the stream's per-node
+      byte totals reconcile with the [Net] counters;
+    + revoked identities never appear in later paths, hops, or walks
+      (after a small grace window for in-flight traffic).
+
+    Typical use:
+    {[
+      let trace = Trace.create () in
+      Trace.install trace;
+      let chk = Invariant.create w in
+      Invariant.attach chk trace;
+      (* ... run the scenario ... *)
+      Invariant.finish chk;
+      assert (Invariant.ok chk)
+    ]} *)
+
+type violation = { event : Octo_sim.Trace.event option; what : string }
+(** [event] is the offending trace event when the violation is tied to
+    one; [None] for end-of-run accounting mismatches. *)
+
+type t
+
+val create : ?grace:float -> World.t -> t
+(** [grace] (default [table_freshness + 2 * query_deadline + 2] from the
+    world's config) is how long after a revocation routing state may
+    still legitimately reference the ejected identity — signed tables
+    stay verifiable for [table_freshness], and lookup candidates learnt
+    from them persist for the whole lookup. Byte accounting baselines at
+    creation time, so a checker may be attached mid-run. *)
+
+val attach : t -> Octo_sim.Trace.t -> unit
+(** Subscribe to the sink; the checker runs online from then on. *)
+
+val finish : t -> unit
+(** Run end-of-run checks (byte-accounting reconciliation). *)
+
+val ok : t -> bool
+val violations : t -> violation list
+
+val checked : t -> int
+(** Events inspected so far. *)
+
+val report : t -> Format.formatter -> unit
+(** Human-readable summary, one line per violation with its offending
+    event as JSON. *)

@@ -3,6 +3,12 @@ module Id = Octo_chord.Id
 module Rtable = Octo_chord.Rtable
 module Engine = Octo_sim.Engine
 module Rng = Octo_sim.Rng
+module Trace = Octo_sim.Trace
+
+(* Test-only fault injection: when set, rewrites the owner a converged
+   lookup reports, so the invariant checker's convergence check can be
+   exercised against a known-bad run. Never set outside tests. *)
+let test_misroute : (Peer.t -> Peer.t) option ref = ref None
 
 type result = {
   owner : Peer.t option;
@@ -26,9 +32,11 @@ let covers space (st : Types.signed_table) ~key =
 
 (* Shared greedy-iterative engine; [fetch] abstracts how a candidate's
    signed table is obtained (anonymously or directly). *)
-let greedy w (node : World.node) ~key ~fetch k =
+let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
   let space = w.World.space in
   let t0 = World.now w in
+  if Trace.on () then
+    Trace.emit ~time:t0 ~node:node.World.addr (Trace.Lookup_start { key; anonymous = anon });
   let hops = ref 0 in
   let queried = ref [] in
   let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -36,6 +44,18 @@ let greedy w (node : World.node) ~key ~fetch k =
   let add_candidate p = if p.Peer.addr <> node.World.addr then Hashtbl.replace candidates p.Peer.id p in
   let final_table = ref None in
   let finish owner =
+    let owner =
+      match (owner, !test_misroute) with
+      | Some p, Some f -> Some (f p)
+      | _ -> owner
+    in
+    if Trace.on () then begin
+      let owner_addr, owner_id =
+        match owner with Some p -> (p.Peer.addr, p.Peer.id) | None -> (-1, -1)
+      in
+      Trace.emit ~time:(World.now w) ~node:node.World.addr
+        (Trace.Lookup_done { key; owner_addr; owner_id; hops = !hops; anonymous = anon })
+    end;
     k
       {
         owner;
@@ -64,6 +84,10 @@ let greedy w (node : World.node) ~key ~fetch k =
         if d = 0 then finish (Some p)
         else begin
           Hashtbl.replace tried p.Peer.addr ();
+          if Trace.on () then
+            Trace.emit ~time:(World.now w) ~node:node.World.addr
+              (Trace.Lookup_hop
+                 { key; peer_addr = p.Peer.addr; peer_id = p.Peer.id; hop = !hops });
           fetch p (fun table_opt ->
               incr hops;
               match table_opt with
@@ -112,7 +136,7 @@ let fire_dummies w (node : World.node) ~ab ~pairs =
         let target = Rng.choose w.World.rng targets in
         if target.Peer.addr <> node.World.addr then begin
           let fire () =
-            Query.send w node
+            Query.send w node ~dummy:true
               ~relays:(Query.path_relays ab cd)
               ~target
               ~query:(Types.Q_table { session = None })
@@ -175,7 +199,7 @@ let anonymous w (node : World.node) ~key k =
             Query.discard_pair node cd;
             cont None)
     in
-    greedy w node ~key ~fetch k
+    greedy w node ~anonymous:true ~key ~fetch k
 
 let direct w (node : World.node) ~key k =
   let fetch (p : Peer.t) cont =
@@ -199,4 +223,4 @@ let direct w (node : World.node) ~key k =
           else cont (Some table)
         | _ -> cont None)
   in
-  greedy w node ~key ~fetch k
+  greedy w node ~anonymous:false ~key ~fetch k

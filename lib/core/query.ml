@@ -2,6 +2,7 @@ module Peer = Octo_chord.Peer
 module Engine = Octo_sim.Engine
 module Rng = Octo_sim.Rng
 module Onion = Octo_crypto.Onion
+module Trace = Octo_sim.Trace
 
 let path_relays (ab : World.pair) (cd : World.pair) =
   [ ab.World.p_first; ab.World.p_second; cd.World.p_first; cd.World.p_second ]
@@ -22,7 +23,7 @@ let distinct_addrs ~initiator relays =
   List.length (List.sort_uniq compare addrs) = List.length addrs
   && not (List.mem initiator addrs)
 
-let send w (node : World.node) ~relays ~target ~query ?timeout k =
+let send w (node : World.node) ?(dummy = false) ~relays ~target ~query ?timeout k =
   let cfg = w.World.cfg in
   let timeout = Option.value ~default:cfg.Config.query_deadline timeout in
   if not (distinct_addrs ~initiator:node.World.addr relays) then
@@ -31,6 +32,16 @@ let send w (node : World.node) ~relays ~target ~query ?timeout k =
     ignore (Engine.schedule w.World.engine ~delay:0.0 (fun () -> k None))
   else
   let cid = World.fresh_cid w in
+  if Trace.on () then
+    Trace.emit ~time:(World.now w) ~node:node.World.addr
+      (Trace.Query_sent
+         {
+           cid;
+           target_addr = target.Peer.addr;
+           target_id = target.Peer.id;
+           relays = List.map (fun r -> r.World.r_peer.Peer.addr) relays;
+           dummy;
+         });
   let deadline = World.now w +. timeout in
   let keys = List.map (fun r -> r.World.r_key) relays in
   let capsule = Onion.wrap ~rng:w.World.rng ~keys (Types.query_digest ~target ~cid query) in

@@ -11,6 +11,7 @@ module Peer = Octo_chord.Peer
 val send :
   World.t ->
   World.node ->
+  ?dummy:bool ->
   relays:World.relay list ->
   target:Peer.t ->
   query:Types.anon_query ->
@@ -20,7 +21,8 @@ val send :
 (** Fire an anonymous query; the continuation receives [None] on timeout
     or when the reply capsule fails end-to-end integrity checking. With
     the DoS defense enabled, a timeout also files an [R_dos] report naming
-    the path's relays. *)
+    the path's relays. [dummy] (default false) only labels the query's
+    trace event — dummy traffic is indistinguishable on the wire. *)
 
 val path_relays : World.pair -> World.pair -> World.relay list
 (** [path_relays ab cd] is the four-relay path A, B, C, D. *)

@@ -1,6 +1,12 @@
 module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
 module Rng = Octo_sim.Rng
+module Trace = Octo_sim.Trace
+
+let verdict_trace w (node : World.node) ~target verdict =
+  if Trace.on () then
+    Trace.emit ~time:(World.now w) ~node:node.World.addr
+      (Trace.Surveillance { target; verdict })
 
 let report w (node : World.node) report =
   World.send w ~src:node.World.addr ~dst:w.World.ca_addr (Types.Report_msg { rid = 0; report })
@@ -63,6 +69,7 @@ let check w (node : World.node) =
              evicting us) self-heals within a stabilization round, so
              re-test once before filing: only persistent omission is
              reported. *)
+          verdict_trace w node ~target:p.Peer.addr "retest";
           ignore
             (Octo_sim.Engine.schedule w.World.engine
                ~delay:(2.0 *. cfg.Config.stabilize_every)
@@ -71,6 +78,7 @@ let check w (node : World.node) =
                    test_pred w node p (fun second ->
                        match second with
                        | Some (sl, false) when node.World.alive ->
+                         verdict_trace w node ~target:p.Peer.addr "reported";
                          report w node
                            (Types.R_neighbor
                               {
@@ -79,4 +87,5 @@ let check w (node : World.node) =
                                 claimed = sl;
                               })
                        | Some _ | None -> ())))
+        | Some (_, true) -> verdict_trace w node ~target:p.Peer.addr "clean"
         | Some _ | None -> ())

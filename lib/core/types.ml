@@ -187,6 +187,30 @@ type msg =
       statements : witness_statement list;
     }
 
+let kind = function
+  | List_req _ -> "List_req"
+  | List_resp _ -> "List_resp"
+  | Table_req _ -> "Table_req"
+  | Table_resp _ -> "Table_resp"
+  | Ping_req _ -> "Ping_req"
+  | Ping_resp _ -> "Ping_resp"
+  | Anon_req _ -> "Anon_req"
+  | Anon_resp _ -> "Anon_resp"
+  | Fwd _ -> "Fwd"
+  | Fwd_reply _ -> "Fwd_reply"
+  | Replicate _ -> "Replicate"
+  | Replicate_ack _ -> "Replicate_ack"
+  | Receipt_msg _ -> "Receipt_msg"
+  | Witness_req _ -> "Witness_req"
+  | Witness_resp _ -> "Witness_resp"
+  | Report_msg _ -> "Report_msg"
+  | Justify_req _ -> "Justify_req"
+  | Justify_resp _ -> "Justify_resp"
+  | Proofs_req _ -> "Proofs_req"
+  | Proofs_resp _ -> "Proofs_resp"
+  | Evidence_req _ -> "Evidence_req"
+  | Evidence_resp _ -> "Evidence_resp"
+
 let rid = function
   | List_req { rid; _ }
   | List_resp { rid; _ }

@@ -151,6 +151,9 @@ type msg =
       statements : witness_statement list;
     }
 
+val kind : msg -> string
+(** Constructor tag, e.g. ["Table_req"] — stable labels for tracing. *)
+
 val rid : msg -> int option
 (** Request id for request/response correlation ([None] for Fwd/Receipt
     traffic, which correlates by [cid]). *)

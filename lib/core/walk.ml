@@ -2,6 +2,7 @@ module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
 module Rng = Octo_sim.Rng
 module Onion = Octo_crypto.Onion
+module Trace = Octo_sim.Trace
 
 let table_ok w (_node : World.node) ~expect_owner st = World.verify_table w ~expect_owner st
 
@@ -30,10 +31,20 @@ let verify_phase2 w (node : World.node) ~expected_owner ~seed ~length tables =
 let fresh_session w =
   (World.fresh_sid w, Onion.gen_key w.World.rng)
 
-let run w (node : World.node) k =
+let run w (node : World.node) k0 =
   let cfg = w.World.cfg in
   let l = cfg.Config.walk_length in
   let attempts = ref 0 in
+  let k outcome =
+    if Trace.on () then
+      Trace.emit ~time:(World.now w) ~node:node.World.addr
+        (Trace.Walk_done { ok = outcome <> None });
+    k0 outcome
+  in
+  let step_trace hop index =
+    if Trace.on () then
+      Trace.emit ~time:(World.now w) ~node:node.World.addr (Trace.Walk_step { hop; index })
+  in
   let rec start () =
     incr attempts;
     if !attempts > 3 || not node.World.alive then k None else phase1 ()
@@ -55,6 +66,7 @@ let run w (node : World.node) k =
             match msg with
             | Types.Anon_resp { reply = Types.R_table st; _ } when table_ok w node ~expect_owner:u1 st ->
               World.buffer_table w node st;
+              step_trace u1.Peer.addr 0;
               extend [ { World.r_peer = u1; r_sid = sid; r_key = key } ] st 1
             | _ -> start ())
       end)
@@ -83,6 +95,7 @@ let run w (node : World.node) k =
             match reply with
             | Some (Types.R_table st) when table_ok w node ~expect_owner:next st ->
               World.buffer_table w node st;
+              step_trace next.Peer.addr i;
               extend ({ World.r_peer = next; r_sid = sid; r_key = key } :: relays_rev) st (i + 1)
             | Some _ | None -> start ())
     end

@@ -5,6 +5,7 @@ module Engine = Octo_sim.Engine
 module Net = Octo_sim.Net
 module Rng = Octo_sim.Rng
 module Series = Octo_sim.Metrics.Series
+module Trace = Octo_sim.Trace
 module Keys = Octo_crypto.Keys
 module Cert = Octo_crypto.Cert
 
@@ -135,7 +136,11 @@ let find_owner t ~key =
     t.nodes;
   Option.map fst !best
 
-let send t ~src ~dst msg = Net.send t.net ~src ~dst ~size:(Types.size msg) msg
+let send t ~src ~dst msg =
+  let size = Types.size msg in
+  if Trace.on () then
+    Trace.emit ~time:(now t) ~node:src (Trace.Msg { kind = Types.kind msg; dst; size });
+  Net.send t.net ~src ~dst ~size msg
 
 let rpc t ~src ~dst ?timeout ~make ~on_timeout k =
   let timeout = Option.value ~default:t.cfg.Config.rpc_timeout timeout in
@@ -416,6 +421,8 @@ let revoke t addr =
   let n = t.nodes.(addr) in
   if not n.revoked then begin
     n.revoked <- true;
+    if Trace.on () then
+      Trace.emit ~time:(now t) ~node:addr (Trace.Revoked { addr; id = n.peer.Peer.id });
     Cert.revoke t.authority ~now:(now t) ~node_id:n.peer.Peer.id;
     kill t addr;
     (* CRL distribution: honest nodes purge the ejected identity. *)

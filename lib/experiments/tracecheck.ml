@@ -1,0 +1,50 @@
+module Engine = Octo_sim.Engine
+module Rng = Octo_sim.Rng
+module Latency = Octo_sim.Latency
+module Trace = Octo_sim.Trace
+
+type result = {
+  trace : Trace.t;
+  checker : Octopus.Invariant.t;
+  lookups_done : int;
+  lookups_converged : int;
+}
+
+let run ?(n = 80) ?(duration = 120.0) ?(seed = 7) ?(trace_capacity = 1 lsl 18)
+    ?(revoke_one = false) () =
+  let trace = Trace.create ~capacity:trace_capacity () in
+  Trace.install trace;
+  let engine = Engine.create ~seed () in
+  let lat_rng = Rng.split (Engine.rng engine) in
+  let latency = Latency.create lat_rng ~n:(n + 1) in
+  let w = Octopus.World.create engine latency ~n in
+  Octopus.Serve.install w;
+  let _ca = Octopus.Ca.create w in
+  let checker = Octopus.Invariant.create w in
+  Octopus.Invariant.attach checker trace;
+  let lookups_done = ref 0 in
+  let lookups_converged = ref 0 in
+  Trace.subscribe trace (fun ev ->
+      match ev.Trace.data with
+      | Trace.Lookup_done { owner_addr; _ } ->
+        incr lookups_done;
+        if owner_addr >= 0 then incr lookups_converged
+      | _ -> ());
+  Octopus.Maintain.start
+    ~opts:{ Octopus.Maintain.enable_lookups = true; churn_mean = None; enable_checks = true }
+    w;
+  if revoke_one then
+    ignore
+      (Engine.schedule engine ~delay:(duration /. 2.0) (fun () ->
+           (* A legitimate mid-run ejection: an honest node revoked by fiat
+              to exercise the revoked-identity invariant. *)
+           Octopus.World.revoke w (n / 2)));
+  Engine.run engine ~until:duration;
+  Octopus.Invariant.finish checker;
+  Trace.uninstall ();
+  {
+    trace;
+    checker;
+    lookups_done = !lookups_done;
+    lookups_converged = !lookups_converged;
+  }

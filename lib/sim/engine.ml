@@ -18,6 +18,7 @@ let schedule_at t ~time action =
   let time = Float.max time t.clock in
   let ev = { cancelled = false; action } in
   Heap.push t.queue ~priority:time ev;
+  if Trace.on () then Trace.emit ~time:t.clock ~node:(-1) (Trace.Sched { at = time });
   ev
 
 let schedule t ~delay action = schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action

@@ -52,21 +52,38 @@ let send t ~src ~dst ~size payload =
   let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
   t.sent <- t.sent + 1;
   t.tx.(src) <- t.tx.(src) + size;
+  if Trace.on () then
+    Trace.emit ~time:env.sent_at ~node:src (Trace.Net_send { src; dst; size });
   let dropped = match t.drop_hook with Some hook -> hook env | None -> false in
-  if not dropped then begin
+  if dropped then begin
+    if Trace.on () then
+      Trace.emit ~time:env.sent_at ~node:src
+        (Trace.Net_drop { src; dst; size; reason = "hook" })
+  end
+  else begin
     let delay = Latency.sample_one_way t.latency t.jitter_rng src dst in
     let extra =
       match t.processing.(dst) with Some sampler -> sampler t.jitter_rng | None -> 0.0
     in
     ignore
       (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
-           if t.alive.(dst) then
+           let now = Engine.now t.engine in
+           if t.alive.(dst) then begin
              match t.handlers.(dst) with
              | Some handler ->
                t.delivered <- t.delivered + 1;
                t.rx.(dst) <- t.rx.(dst) + size;
+               if Trace.on () then
+                 Trace.emit ~time:now ~node:dst (Trace.Net_deliver { src; dst; size });
                handler env
-             | None -> ()))
+             | None ->
+               if Trace.on () then
+                 Trace.emit ~time:now ~node:dst
+                   (Trace.Net_drop { src; dst; size; reason = "unregistered" })
+           end
+           else if Trace.on () then
+             Trace.emit ~time:now ~node:dst
+               (Trace.Net_drop { src; dst; size; reason = "dead" })))
   end
 
 let set_drop_hook t hook = t.drop_hook <- hook
@@ -94,6 +111,9 @@ module Pending = struct
       Engine.schedule t.engine ~delay:timeout (fun () ->
           if Hashtbl.mem t.table id then begin
             Hashtbl.remove t.table id;
+            if Trace.on () then
+              Trace.emit ~time:(Engine.now t.engine) ~node:(-1)
+                (Trace.Rpc_timeout { rid = id });
             on_timeout ()
           end)
     in
@@ -102,10 +122,15 @@ module Pending = struct
 
   let resolve t id resp =
     match Hashtbl.find_opt t.table id with
-    | None -> false
+    | None ->
+      if Trace.on () then
+        Trace.emit ~time:(Engine.now t.engine) ~node:(-1) (Trace.Rpc_late { rid = id });
+      false
     | Some entry ->
       Hashtbl.remove t.table id;
       Engine.cancel entry.timeout_ev;
+      if Trace.on () then
+        Trace.emit ~time:(Engine.now t.engine) ~node:(-1) (Trace.Rpc_resolve { rid = id });
       entry.k resp;
       true
 

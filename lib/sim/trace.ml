@@ -1,0 +1,157 @@
+type data =
+  | Sched of { at : float }
+  | Net_send of { src : int; dst : int; size : int }
+  | Net_deliver of { src : int; dst : int; size : int }
+  | Net_drop of { src : int; dst : int; size : int; reason : string }
+  | Rpc_timeout of { rid : int }
+  | Rpc_resolve of { rid : int }
+  | Rpc_late of { rid : int }
+  | Msg of { kind : string; dst : int; size : int }
+  | Walk_step of { hop : int; index : int }
+  | Walk_done of { ok : bool }
+  | Circuit_relay of { relay : int }
+  | Circuit_built of { relays : int list }
+  | Circuit_torn of { reason : string }
+  | Lookup_start of { key : int; anonymous : bool }
+  | Lookup_hop of { key : int; peer_addr : int; peer_id : int; hop : int }
+  | Lookup_done of {
+      key : int;
+      owner_addr : int;
+      owner_id : int;
+      hops : int;
+      anonymous : bool;
+    }
+  | Query_sent of {
+      cid : int;
+      target_addr : int;
+      target_id : int;
+      relays : int list;
+      dummy : bool;
+    }
+  | Surveillance of { target : int; verdict : string }
+  | Ca_report of { kind : string }
+  | Ca_outcome of { convicted : int list }
+  | Revoked of { addr : int; id : int }
+
+type event = { seq : int; time : float; node : int; data : data }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable next_seq : int;
+  mutable subscribers : (event -> unit) list;
+}
+
+(* A single global sink: the simulator is single-threaded and
+   deterministic, so the cost of tracing when disabled must be exactly one
+   load and branch at each emission site — no sink threading through every
+   constructor in the stack. *)
+let current : t option ref = ref None
+
+let create ?(capacity = 65_536) () =
+  { capacity; ring = Array.make capacity None; next_seq = 0; subscribers = [] }
+
+let install t = current := Some t
+let uninstall () = current := None
+let active () = !current
+let on () = !current <> None
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let emit ~time ~node data =
+  match !current with
+  | None -> ()
+  | Some t ->
+    let ev = { seq = t.next_seq; time; node; data } in
+    t.next_seq <- t.next_seq + 1;
+    t.ring.(ev.seq mod t.capacity) <- Some ev;
+    List.iter (fun f -> f ev) t.subscribers
+
+let seen t = t.next_seq
+
+let events t =
+  (* Oldest-first reconstruction of the retained window. *)
+  let n = t.next_seq in
+  let first = if n > t.capacity then n - t.capacity else 0 in
+  let out = ref [] in
+  for seq = n - 1 downto first do
+    match t.ring.(seq mod t.capacity) with
+    | Some ev when ev.seq = seq -> out := ev :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+(* -- rendering ------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let data_fields = function
+  | Sched { at } -> ("sched", [ ("at", Printf.sprintf "%.6f" at) ])
+  | Net_send { src; dst; size } ->
+    ("net_send", [ ("src", string_of_int src); ("dst", string_of_int dst); ("size", string_of_int size) ])
+  | Net_deliver { src; dst; size } ->
+    ("net_deliver", [ ("src", string_of_int src); ("dst", string_of_int dst); ("size", string_of_int size) ])
+  | Net_drop { src; dst; size; reason } ->
+    ( "net_drop",
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("size", string_of_int size);
+        ("reason", "\"" ^ json_escape reason ^ "\"") ] )
+  | Rpc_timeout { rid } -> ("rpc_timeout", [ ("rid", string_of_int rid) ])
+  | Rpc_resolve { rid } -> ("rpc_resolve", [ ("rid", string_of_int rid) ])
+  | Rpc_late { rid } -> ("rpc_late", [ ("rid", string_of_int rid) ])
+  | Msg { kind; dst; size } ->
+    ( "msg",
+      [ ("kind", "\"" ^ json_escape kind ^ "\""); ("dst", string_of_int dst);
+        ("size", string_of_int size) ] )
+  | Walk_step { hop; index } ->
+    ("walk_step", [ ("hop", string_of_int hop); ("index", string_of_int index) ])
+  | Walk_done { ok } -> ("walk_done", [ ("ok", string_of_bool ok) ])
+  | Circuit_relay { relay } -> ("circuit_relay", [ ("relay", string_of_int relay) ])
+  | Circuit_built { relays } -> ("circuit_built", [ ("relays", ints relays) ])
+  | Circuit_torn { reason } -> ("circuit_torn", [ ("reason", "\"" ^ json_escape reason ^ "\"") ])
+  | Lookup_start { key; anonymous } ->
+    ("lookup_start", [ ("key", string_of_int key); ("anonymous", string_of_bool anonymous) ])
+  | Lookup_hop { key; peer_addr; peer_id; hop } ->
+    ( "lookup_hop",
+      [ ("key", string_of_int key); ("peer_addr", string_of_int peer_addr);
+        ("peer_id", string_of_int peer_id); ("hop", string_of_int hop) ] )
+  | Lookup_done { key; owner_addr; owner_id; hops; anonymous } ->
+    ( "lookup_done",
+      [ ("key", string_of_int key); ("owner_addr", string_of_int owner_addr);
+        ("owner_id", string_of_int owner_id); ("hops", string_of_int hops);
+        ("anonymous", string_of_bool anonymous) ] )
+  | Query_sent { cid; target_addr; target_id; relays; dummy } ->
+    ( "query_sent",
+      [ ("cid", string_of_int cid); ("target_addr", string_of_int target_addr);
+        ("target_id", string_of_int target_id); ("relays", ints relays);
+        ("dummy", string_of_bool dummy) ] )
+  | Surveillance { target; verdict } ->
+    ("surveillance", [ ("target", string_of_int target); ("verdict", "\"" ^ json_escape verdict ^ "\"") ])
+  | Ca_report { kind } -> ("ca_report", [ ("kind", "\"" ^ json_escape kind ^ "\"") ])
+  | Ca_outcome { convicted } -> ("ca_outcome", [ ("convicted", ints convicted) ])
+  | Revoked { addr; id } -> ("revoked", [ ("addr", string_of_int addr); ("id", string_of_int id) ])
+
+let to_json ev =
+  let tag, fields = data_fields ev.data in
+  let extra = List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" k v) fields in
+  Printf.sprintf "{\"seq\":%d,\"t\":%.6f,\"node\":%d,\"ev\":\"%s\"%s}" ev.seq ev.time ev.node
+    tag (String.concat "" extra)
+
+let dump_jsonl t oc =
+  List.iter
+    (fun ev ->
+      output_string oc (to_json ev);
+      output_char oc '\n')
+    (events t)

@@ -1,0 +1,89 @@
+(** Structured simulation tracing.
+
+    A zero-cost-when-disabled event stream: emission sites guard with
+    {!on} (one load + branch when no sink is installed) and call {!emit}
+    with primitive payloads only, so this module sits at the bottom of
+    the dependency stack and both the simulator and the Octopus core can
+    emit into the same stream.
+
+    The sink is a process-global ring buffer. The simulator is
+    single-threaded and deterministic, so global state is safe; code
+    running several worlds concurrently should install a fresh sink per
+    scenario (or none). *)
+
+type data =
+  | Sched of { at : float }  (** engine: task pushed onto the heap *)
+  | Net_send of { src : int; dst : int; size : int }
+  | Net_deliver of { src : int; dst : int; size : int }
+  | Net_drop of { src : int; dst : int; size : int; reason : string }
+      (** reason is ["hook"], ["dead"] or ["unregistered"] *)
+  | Rpc_timeout of { rid : int }
+  | Rpc_resolve of { rid : int }
+  | Rpc_late of { rid : int }  (** resolve after timeout/cancel; ignored *)
+  | Msg of { kind : string; dst : int; size : int }
+      (** protocol-level egress ([World.send]); [node] is the sender *)
+  | Walk_step of { hop : int; index : int }
+  | Walk_done of { ok : bool }
+  | Circuit_relay of { relay : int }
+  | Circuit_built of { relays : int list }
+  | Circuit_torn of { reason : string }
+  | Lookup_start of { key : int; anonymous : bool }
+  | Lookup_hop of { key : int; peer_addr : int; peer_id : int; hop : int }
+  | Lookup_done of {
+      key : int;
+      owner_addr : int;  (** -1 when the lookup failed to converge *)
+      owner_id : int;
+      hops : int;
+      anonymous : bool;
+    }
+  | Query_sent of {
+      cid : int;
+      target_addr : int;
+      target_id : int;
+      relays : int list;
+      dummy : bool;
+    }
+  | Surveillance of { target : int; verdict : string }
+      (** verdict is ["clean"], ["retest"] or ["reported"] *)
+  | Ca_report of { kind : string }
+  | Ca_outcome of { convicted : int list }
+  | Revoked of { addr : int; id : int }
+
+type event = { seq : int; time : float; node : int; data : data }
+(** [node] is the acting node's address, or [-1] for engine/pending
+    machinery with no node context. [seq] increases by one per emitted
+    event, across ring-buffer wrap-around. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer retaining the last [capacity] (default 65536) events.
+    [seen] keeps counting past wrap-around. *)
+
+val install : t -> unit
+(** Make [t] the process-global sink. *)
+
+val uninstall : unit -> unit
+val active : unit -> t option
+
+val on : unit -> bool
+(** Fast guard for emission sites: [if Trace.on () then Trace.emit ...]. *)
+
+val emit : time:float -> node:int -> data -> unit
+(** No-op when no sink is installed. *)
+
+val seen : t -> int
+(** Total events emitted into [t], including any evicted from the ring. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** [f] runs synchronously on every subsequent emission (online
+    checkers). Subscribers must not themselves emit. *)
+
+val to_json : event -> string
+(** One-line JSON object: [{"seq":..,"t":..,"node":..,"ev":"..",...}]. *)
+
+val dump_jsonl : t -> out_channel -> unit
+(** Retained events as JSON Lines, oldest first. *)

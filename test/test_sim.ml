@@ -479,6 +479,68 @@ let test_pending_cancel () =
   Alcotest.(check bool) "no timeout after cancel" false !timed_out;
   Alcotest.(check int) "outstanding" 0 (Net.Pending.outstanding p)
 
+let test_pending_timeout_exactly_once () =
+  let e = Engine.create () in
+  let p = Net.Pending.create e in
+  let fired = ref 0 and delivered = ref 0 in
+  let rid =
+    Net.Pending.add p ~timeout:2.0 ~on_timeout:(fun () -> incr fired) (fun _ -> incr delivered)
+  in
+  Engine.run e ~until:50.0;
+  Alcotest.(check int) "timeout fired exactly once" 1 !fired;
+  Alcotest.(check int) "handler never ran" 0 !delivered;
+  Alcotest.(check bool) "resolve after timeout rejected" false
+    (Net.Pending.resolve p rid "late");
+  Alcotest.(check int) "late resolve does not re-fire" 1 !fired;
+  Alcotest.(check int) "late resolve does not deliver" 0 !delivered;
+  Alcotest.(check int) "outstanding drained" 0 (Net.Pending.outstanding p)
+
+let test_pending_drop_hook_timeout_interplay () =
+  (* A dropped request's only failure signal is the RPC timeout: node 1
+     would answer instantly, but the hook eats everything node 0 sends, so
+     on_timeout must fire — exactly once — and nothing is delivered. *)
+  let e, net = make_net () in
+  let p = Net.Pending.create e in
+  let fired = ref 0 and delivered = ref 0 in
+  Net.register net 1 (fun env -> Net.send net ~src:1 ~dst:0 ~size:10 env.Net.payload);
+  Net.register net 0 (fun env ->
+      ignore (Net.Pending.resolve p (int_of_string env.Net.payload) env.Net.payload));
+  Net.set_drop_hook net (Some (fun env -> env.Net.src = 0));
+  let rid =
+    Net.Pending.add p ~timeout:2.0
+      ~on_timeout:(fun () -> incr fired)
+      (fun _ -> incr delivered)
+  in
+  Net.send net ~src:0 ~dst:1 ~size:20 (string_of_int rid);
+  Engine.run e ~until:30.0;
+  Alcotest.(check int) "timeout fired once" 1 !fired;
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "no pending left" 0 (Net.Pending.outstanding p)
+
+let test_pending_late_response_ignored () =
+  (* The response exists but arrives after the deadline: the timeout wins,
+     and the late resolve must be a silent no-op (no double completion). *)
+  let e, net = make_net () in
+  let p = Net.Pending.create e in
+  let fired = ref 0 and delivered = ref 0 in
+  Net.register net 1 (fun env ->
+      (* Hold the reply well past the requester's deadline. *)
+      ignore
+        (Engine.schedule e ~delay:5.0 (fun () ->
+             Net.send net ~src:1 ~dst:0 ~size:10 env.Net.payload)));
+  Net.register net 0 (fun env ->
+      ignore (Net.Pending.resolve p (int_of_string env.Net.payload) env.Net.payload));
+  let rid =
+    Net.Pending.add p ~timeout:2.0
+      ~on_timeout:(fun () -> incr fired)
+      (fun _ -> incr delivered)
+  in
+  Net.send net ~src:0 ~dst:1 ~size:20 (string_of_int rid);
+  Engine.run e ~until:30.0;
+  Alcotest.(check int) "timeout fired once" 1 !fired;
+  Alcotest.(check int) "late reply not delivered" 0 !delivered;
+  Alcotest.(check int) "no pending left" 0 (Net.Pending.outstanding p)
+
 (* ------------------------------------------------------------------ *)
 (* Churn *)
 
@@ -609,6 +671,9 @@ let () =
           Alcotest.test_case "pending resolve" `Quick test_pending_resolve;
           Alcotest.test_case "pending timeout" `Quick test_pending_timeout;
           Alcotest.test_case "pending cancel" `Quick test_pending_cancel;
+          Alcotest.test_case "timeout exactly once" `Quick test_pending_timeout_exactly_once;
+          Alcotest.test_case "drop hook + timeout" `Quick test_pending_drop_hook_timeout_interplay;
+          Alcotest.test_case "late response ignored" `Quick test_pending_late_response_ignored;
         ] );
       ( "churn",
         [
