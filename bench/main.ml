@@ -128,29 +128,238 @@ let kernels =
              assert (Octo_crypto.Onion.peel_all ~keys w <> None)));
     ]
 
-let run_bechamel () =
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_*.json (see EXPERIMENTS.md,
+   "Benchmarking"). The schema is flat on purpose so future PRs can diff
+   perf trajectories without a JSON library. *)
+
+type row = { ns_per_op : float; minor_words_per_op : float }
+
+let estimate_of results name =
+  match Hashtbl.find_opt results name with
+  | None -> Float.nan
+  | Some ols -> (
+    match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> Float.nan)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"octopus-bench/v1\",\n  \"kernels\": {\n";
+  List.iteri
+    (fun i (name, r) ->
+      Printf.fprintf oc "    \"%s\": { \"ns_per_op\": %s, \"minor_words_per_op\": %s }%s\n"
+        (json_escape name) (json_float r.ns_per_op)
+        (json_float r.minor_words_per_op)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels)\n" path (List.length rows)
+
+(* Minimal JSON reader for the schema [write_json] emits: an object
+   containing a "kernels" object of {name: {metric: number|null}}. Not a
+   general-purpose parser — just enough for [--compare]. *)
+let read_json path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let fail msg = failwith (Printf.sprintf "%s: malformed bench json at byte %d: %s" path !pos msg) in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> fail "eof in string");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+      | None -> fail "eof in string"
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_scalar () =
+    skip_ws ();
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('-' | '+' | '.' | 'e' | 'E' | '0' .. '9' | 'a' .. 'd' | 'f' .. 'z') ->
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub src start (!pos - start) in
+    if tok = "null" then Float.nan
+    else match float_of_string_opt tok with Some f -> f | None -> fail ("bad number " ^ tok)
+  in
+  let parse_metrics () =
+    expect '{';
+    let rec fields acc =
+      skip_ws ();
+      match peek () with
+      | Some '}' ->
+        advance ();
+        acc
+      | _ ->
+        let k = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        skip_ws ();
+        (match peek () with Some ',' -> advance () | _ -> ());
+        fields ((k, v) :: acc)
+    in
+    fields []
+  in
+  let metric m fields = match List.assoc_opt m fields with Some v -> v | None -> Float.nan in
+  let rec parse_top acc =
+    skip_ws ();
+    match peek () with
+    | Some '}' | None -> acc
+    | _ ->
+      let k = parse_string () in
+      expect ':';
+      skip_ws ();
+      if k = "kernels" then begin
+        expect '{';
+        let rec kernels acc =
+          skip_ws ();
+          match peek () with
+          | Some '}' ->
+            advance ();
+            acc
+          | _ ->
+            let name = parse_string () in
+            expect ':';
+            let fields = parse_metrics () in
+            skip_ws ();
+            (match peek () with Some ',' -> advance () | _ -> ());
+            kernels
+              ((name, { ns_per_op = metric "ns_per_op" fields;
+                        minor_words_per_op = metric "minor_words_per_op" fields })
+               :: acc)
+        in
+        parse_top (kernels acc)
+      end
+      else begin
+        (* Skip a string, scalar, or (possibly nested) object we don't
+           care about. *)
+        (match peek () with
+        | Some '"' -> ignore (parse_string ())
+        | Some '{' ->
+          let depth = ref 0 in
+          let rec skip () =
+            match peek () with
+            | Some '{' ->
+              incr depth;
+              advance ();
+              skip ()
+            | Some '}' ->
+              decr depth;
+              advance ();
+              if !depth > 0 then skip ()
+            | Some _ ->
+              advance ();
+              skip ()
+            | None -> fail "eof in skipped object"
+          in
+          skip ()
+        | _ -> ignore (parse_scalar ()));
+        skip_ws ();
+        (match peek () with Some ',' -> advance () | _ -> ());
+        parse_top acc
+      end
+  in
+  expect '{';
+  List.rev (parse_top [])
+
+let print_comparison ~baseline_path baseline rows =
+  Printf.printf "\n== Comparison against %s ==\n" baseline_path;
+  Printf.printf "  %-36s %12s %12s %9s\n" "kernel" "base ns/op" "now ns/op" "speedup";
+  List.iter
+    (fun (name, now) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "  %-36s %12s %12.0f %9s\n" name "-" now.ns_per_op "new"
+      | Some base ->
+        let speedup = base.ns_per_op /. now.ns_per_op in
+        Printf.printf "  %-36s %12.0f %12.0f %8.2fx\n" name base.ns_per_op now.ns_per_op
+          speedup)
+    rows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name rows) then Printf.printf "  %-36s (kernel removed)\n" name)
+    baseline
+
+let run_bechamel ~json_out ~compare_with () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let raw = Benchmark.all cfg instances kernels in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
   print_endline "== Micro-benchmarks (one kernel per paper artifact) ==";
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols ->
-      let ns =
-        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> Float.nan
+    (fun name _ ->
+      let row =
+        { ns_per_op = estimate_of times name; minor_words_per_op = estimate_of allocs name }
       in
-      rows := (name, ns) :: !rows)
-    results;
+      rows := (name, row) :: !rows)
+    times;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   List.iter
-    (fun (name, ns) ->
-      if Float.is_nan ns then Printf.printf "  %-32s (no estimate)\n" name
-      else if ns > 1e6 then Printf.printf "  %-32s %8.2f ms/run\n" name (ns /. 1e6)
-      else if ns > 1e3 then Printf.printf "  %-32s %8.2f us/run\n" name (ns /. 1e3)
-      else Printf.printf "  %-32s %8.0f ns/run\n" name ns)
-    (List.sort compare !rows);
-  print_newline ()
+    (fun (name, { ns_per_op = ns; minor_words_per_op = words }) ->
+      let alloc = if Float.is_nan words then "" else Printf.sprintf "  %10.0f w/run" words in
+      if Float.is_nan ns then Printf.printf "  %-36s (no estimate)\n" name
+      else if ns > 1e6 then Printf.printf "  %-36s %8.2f ms/run%s\n" name (ns /. 1e6) alloc
+      else if ns > 1e3 then Printf.printf "  %-36s %8.2f us/run%s\n" name (ns /. 1e3) alloc
+      else Printf.printf "  %-36s %8.0f ns/run%s\n" name ns alloc)
+    rows;
+  print_newline ();
+  Option.iter (fun path -> write_json path rows) json_out;
+  Option.iter
+    (fun path -> print_comparison ~baseline_path:path (read_json path) rows)
+    compare_with
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: reduced-scale reproduction of every table and figure *)
@@ -242,8 +451,18 @@ let () =
   let skip_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let skip_repro = Array.exists (fun a -> a = "--micro-only") Sys.argv in
   let check = Array.exists (fun a -> a = "--check-invariants") Sys.argv in
+  let flag_value name =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let json_out = flag_value "--json" in
+  let compare_with = flag_value "--compare" in
   if check then run_checked ()
   else begin
-    if not skip_micro then run_bechamel ();
+    if not skip_micro then run_bechamel ~json_out ~compare_with ();
     if not skip_repro then reproduce ()
   end

@@ -85,7 +85,11 @@ let simulate_lookup model rng ~params ~path =
         if q.dummy then (Rng.unit_float rng, i) else (float_of_int i /. float_of_int n_total, i))
       merged
   in
-  Array.sort compare keys;
+  Array.sort
+    (fun (a, i) (b, j) ->
+      let c = Float.compare a b in
+      if c <> 0 then c else Int.compare i j)
+    keys;
   let queries = Array.to_list (Array.map (fun (_, i) -> merged.(i)) keys) in
   { a_mal = draw (); queries }
 

@@ -36,7 +36,7 @@ let create ?bits ?num_fingers ?(list_size = 6) ~n ~f ~seed () =
         in
         gen ())
   in
-  Array.sort compare ids;
+  Array.sort Int.compare ids;
   let mal = Array.init n (fun _ -> Rng.coin rng f) in
   let num_fingers = Option.value ~default:bits num_fingers in
   { n; f; space; ids; mal; num_fingers; list_size; rng }

@@ -19,8 +19,10 @@ let install net =
       match env.Net.payload with
       | Proto.Proxy_req { rid; key } ->
         let buddy_addr = env.Net.dst in
+        (* The lookup continuation outlives the pooled envelope. *)
+        let requester = env.Net.src in
         Lookup.run net ~from:buddy_addr ~key (fun res ->
-            Net.send (Network.net net) ~src:buddy_addr ~dst:env.Net.src
+            Net.send (Network.net net) ~src:buddy_addr ~dst:requester
               ~size:(Proto.size (Proto.Proxy_resp { rid; result = res.Lookup.owner; hops = res.Lookup.hops }))
               (Proto.Proxy_resp { rid; result = res.Lookup.owner; hops = res.Lookup.hops }));
         true

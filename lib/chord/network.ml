@@ -74,7 +74,9 @@ let send t ~src ~dst msg = Net.send t.net ~src ~dst ~size:(Proto.size msg) msg
 
 let handle t addr (env : Proto.msg Net.envelope) =
   let node = t.nodes.(addr) in
-  let reply msg = send t ~src:addr ~dst:env.Net.src msg in
+  (* Copy the sender out of the pooled envelope before building closures. *)
+  let src = env.Net.src in
+  let reply msg = send t ~src:addr ~dst:src msg in
   match env.Net.payload with
   | Proto.Table_req { rid } -> reply (Proto.Table_resp { rid; table = snapshot t addr })
   | Proto.Succs_req { rid; from } ->
@@ -129,7 +131,7 @@ let bootstrap t =
      and fingers, as in standard DHT simulation practice. *)
   let n = Array.length t.nodes in
   let sorted = Array.map (fun node -> node.peer) t.nodes in
-  Array.sort (fun a b -> Stdlib.compare a.Peer.id b.Peer.id) sorted;
+  Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
   let index_of = Hashtbl.create n in
   Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
   let successor_of_key key =

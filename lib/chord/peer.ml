@@ -2,7 +2,9 @@ type t = { id : int; addr : int }
 
 let make ~id ~addr = { id; addr }
 let equal a b = a.id = b.id && a.addr = b.addr
-let compare a b = Stdlib.compare (a.id, a.addr) (b.id, b.addr)
+let compare a b =
+  let c = Int.compare a.id b.id in
+  if c <> 0 then c else Int.compare a.addr b.addr
 let pp fmt t = Format.fprintf fmt "#%d@%d" t.id t.addr
 
 let dedupe_by_id peers =
@@ -19,11 +21,11 @@ let dedupe_by_id peers =
 let sort_cw space ~from peers =
   dedupe_by_id
     (List.sort
-       (fun a b -> Stdlib.compare (Id.distance_cw space from a.id) (Id.distance_cw space from b.id))
+       (fun a b -> Int.compare (Id.distance_cw space from a.id) (Id.distance_cw space from b.id))
        peers)
 
 let sort_ccw space ~from peers =
   dedupe_by_id
     (List.sort
-       (fun a b -> Stdlib.compare (Id.distance_cw space a.id from) (Id.distance_cw space b.id from))
+       (fun a b -> Int.compare (Id.distance_cw space a.id from) (Id.distance_cw space b.id from))
        peers)

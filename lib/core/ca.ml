@@ -71,7 +71,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
   in
   let proof_valid ?(era = true) ~time (proof : Types.signed_list) =
     proof.Types.l_time <= time +. 0.001
-    && World.verify_list w ~max_age:(World.now w -. proof.Types.l_time +. 1.0) proof
+    && World.verify_list w ~revoked_ok:true ~max_age:(World.now w -. proof.Types.l_time +. 1.0) proof
     && ((not era)
        (* An era input must be from the stabilization rounds just before
           the claim; provenance documents are legitimately older. *)
@@ -116,7 +116,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
             match msg with
             | Types.List_resp { slist; _ }
               when slist.Types.l_kind = Types.Succ_list
-                   && World.verify_list w ~expect_owner:owner slist
+                   && World.verify_list w ~revoked_ok:true ~expect_owner:owner slist
                    && slist.Types.l_peers = [] ->
               (* Still empty: nothing honest stays empty across rounds. *)
               convict owner ~time "empty-list"
@@ -151,7 +151,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                        owner.Peer.addr first.Peer.addr first.Peer.id
                        proof.Types.l_owner.Peer.addr proof.Types.l_owner.Peer.id
                        proof.Types.l_time time (World.now w)
-                       (World.verify_list w
+                       (World.verify_list w ~revoked_ok:true
                           ~max_age:(World.now w -. proof.Types.l_time +. 1.0)
                           proof));
                   convict owner ~time "bad-proof"
@@ -181,7 +181,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                         match msg with
                         | Types.List_resp { slist; _ }
                           when slist.Types.l_kind = Types.Succ_list
-                               && World.verify_list w ~expect_owner:owner slist
+                               && World.verify_list w ~revoked_ok:true ~expect_owner:owner slist
                                && List.exists (Peer.equal missing) slist.Types.l_peers ->
                           k Nothing
                         | Types.List_resp _ ->
@@ -217,7 +217,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                 match msg with
                 | Types.List_resp { slist; _ }
                   when slist.Types.l_kind = Types.Pred_list
-                       && World.verify_list w ~expect_owner:about slist -> (
+                       && World.verify_list w ~revoked_ok:true ~expect_owner:about slist -> (
                   if List.exists (Peer.equal missing) slist.Types.l_peers then
                     (* The head knows the missing node: the accused is
                        merely stale. *)
@@ -240,7 +240,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                           match msg with
                           | Types.List_resp { slist = zs; _ }
                             when zs.Types.l_kind = Types.Succ_list
-                                 && World.verify_list w ~expect_owner:missing zs
+                                 && World.verify_list w ~revoked_ok:true ~expect_owner:missing zs
                                  && List.exists (Peer.equal about) zs.Types.l_peers ->
                             ignore
                               (Octo_sim.Engine.schedule w.World.engine
@@ -255,7 +255,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                                        match msg with
                                        | Types.List_resp { slist = again; _ }
                                          when again.Types.l_kind = Types.Pred_list
-                                              && World.verify_list w ~expect_owner:about again
+                                              && World.verify_list w ~revoked_ok:true ~expect_owner:about again
                                               && not
                                                    (List.exists (Peer.equal missing)
                                                       again.Types.l_peers) ->
@@ -332,7 +332,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                         match msg with
                         | Types.List_resp { slist; _ }
                           when slist.Types.l_kind = Types.Pred_list
-                               && World.verify_list w ~expect_owner:about slist -> (
+                               && World.verify_list w ~revoked_ok:true ~expect_owner:about slist -> (
                           if List.exists (Peer.equal missing) slist.Types.l_peers then
                             k Nothing
                           else begin
@@ -355,7 +355,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                                   match msg with
                                   | Types.List_resp { slist = zs; _ }
                                     when zs.Types.l_kind = Types.Succ_list
-                                         && World.verify_list w ~expect_owner:missing zs
+                                         && World.verify_list w ~revoked_ok:true ~expect_owner:missing zs
                                          && List.exists (Peer.equal about) zs.Types.l_peers ->
                                     convict about ~time:slist.Types.l_time
                                       "persistent-announcement-omission"
@@ -377,9 +377,9 @@ let investigate_finger w ~strikes ~(y_table : Types.signed_table) ~index ~f_pred
   let space = w.World.space in
   let generous = 60.0 in
   let structural_ok =
-    World.verify_table w ~max_age:generous y_table
-    && World.verify_list w ~max_age:generous f_preds
-    && World.verify_list w ~max_age:generous p1_succs
+    World.verify_table w ~revoked_ok:true ~max_age:generous y_table
+    && World.verify_list w ~revoked_ok:true ~max_age:generous f_preds
+    && World.verify_list w ~revoked_ok:true ~max_age:generous p1_succs
     && f_preds.Types.l_kind = Types.Pred_list
     && p1_succs.Types.l_kind = Types.Succ_list
     && List.exists (Peer.equal p1_succs.Types.l_owner) f_preds.Types.l_peers
@@ -424,7 +424,7 @@ let investigate_finger w ~strikes ~(y_table : Types.signed_table) ~index ~f_pred
                 List.filter
                   (fun p ->
                     p.Types.l_kind = Types.Succ_list
-                    && World.verify_list w ~max_age:120.0 p)
+                    && World.verify_list w ~revoked_ok:true ~max_age:120.0 p)
                   proofs
               in
               let oldest =
@@ -598,13 +598,13 @@ let handle_report t report =
     match report with
     | Types.R_neighbor { missing; claimed; _ } ->
       let generous = 30.0 in
-      if World.verify_list w ~max_age:generous claimed && claimed.Types.l_kind = Types.Succ_list
+      if World.verify_list w ~revoked_ok:true ~max_age:generous claimed && claimed.Types.l_kind = Types.Succ_list
       then
         investigate_omission w ~missing ~owner:claimed.Types.l_owner
           ~peers:claimed.Types.l_peers ~time:claimed.Types.l_time ~depth:0 k
       else k Nothing
     | Types.R_table_omission { missing; table; _ } ->
-      if World.verify_table w ~max_age:30.0 table then
+      if World.verify_table w ~revoked_ok:true ~max_age:30.0 table then
         investigate_omission w ~missing ~owner:table.Types.t_owner ~peers:table.Types.t_succs
           ~time:table.Types.t_time ~depth:0 k
       else k Nothing

@@ -129,7 +129,7 @@ let on_event t (ev : Trace.event) =
     (* Invariant 2: anonymous-path relays are pairwise distinct and never
        include the initiator. *)
     let initiator = ev.Trace.node in
-    if List.length (List.sort_uniq compare relays) <> List.length relays then
+    if List.length (List.sort_uniq Int.compare relays) <> List.length relays then
       flag t ~event:ev (Printf.sprintf "query %d uses a duplicate relay" cid);
     if List.mem initiator relays then
       flag t ~event:ev (Printf.sprintf "query %d routes through its initiator %d" cid initiator)
@@ -154,7 +154,7 @@ let on_event t (ev : Trace.event) =
       flag t ~event:ev (Printf.sprintf "walk extended through %d, revoked earlier" hop)
   | Trace.Circuit_built { relays } ->
     let initiator = ev.Trace.node in
-    if List.length (List.sort_uniq compare relays) <> List.length relays then
+    if List.length (List.sort_uniq Int.compare relays) <> List.length relays then
       flag t ~event:ev "circuit uses a duplicate relay";
     if List.mem initiator relays then
       flag t ~event:ev (Printf.sprintf "circuit routes through its initiator %d" initiator)

@@ -20,7 +20,7 @@ let add_pair (w : World.t) (node : World.node) pair =
 
 let distinct_addrs ~initiator relays =
   let addrs = List.map (fun r -> r.World.r_peer.Peer.addr) relays in
-  List.length (List.sort_uniq compare addrs) = List.length addrs
+  List.length (List.sort_uniq Int.compare addrs) = List.length addrs
   && not (List.mem initiator addrs)
 
 let send w (node : World.node) ?(dummy = false) ~relays ~target ~query ?timeout k =

@@ -157,13 +157,15 @@ let exit_deliver w (node : World.node) ~cid ~target ~query ~deadline ~capsule =
         | _ -> send_reply w node ~cid None)
   end
 
-let handle_fwd w (node : World.node) (env : Types.msg Net.envelope) ~cid ~sid ~delay ~hops
+(* [prev] is copied out of the envelope by the caller: [proceed] may run
+   after the envelope has been recycled. *)
+let handle_fwd w (node : World.node) ~prev ~cid ~sid ~delay ~hops
     ~target ~query ~deadline ~capsule =
   let first_delivery = not (Hashtbl.mem node.World.received_cids cid) in
   Hashtbl.replace node.World.received_cids cid (World.now w);
   if Adversary.drops_fwd w node then ()
   else begin
-    send_receipt w node ~dst:env.Net.src ~cid;
+    send_receipt w node ~dst:prev ~cid;
     if first_delivery then begin
       match Hashtbl.find_opt node.World.sessions sid with
       | None -> ()
@@ -174,7 +176,7 @@ let handle_fwd w (node : World.node) (env : Types.msg Net.envelope) ~cid ~sid ~d
           let proceed () =
             if node.World.alive then begin
               Hashtbl.replace node.World.back_routes cid
-                { World.br_prev = env.Net.src; br_sid = sid; br_at = World.now w };
+                { World.br_prev = prev; br_sid = sid; br_at = World.now w };
               match hops with
               | (next_addr, next_sid, next_delay) :: rest ->
                 let fwd =
@@ -234,7 +236,7 @@ let handle_justify w (node : World.node) ~missing ~source ~provenance ~before =
              (extra @ Adversary.biased_succs w colluder))
       in
       let sl = World.sign_list w colluder Types.Succ_list peers in
-      Some { sl with Types.l_time = Float.min before (World.now w) }
+      Some { sl with Types.l_time = Float.min before (World.now w); l_memo = None }
     in
     if not provenance then
       match Adversary.fabricated_justification w ~claimed_succ:source with
@@ -262,7 +264,7 @@ let handle_justify w (node : World.node) ~missing ~source ~provenance ~before =
           let sl =
             World.sign_list w src_node Types.Pred_list (Adversary.fake_preds w src_node)
           in
-          Some { sl with Types.l_time = Float.min before (World.now w) }
+          Some { sl with Types.l_time = Float.min before (World.now w); l_memo = None }
         | None -> None)
     end
   end
@@ -304,7 +306,7 @@ let handle_proofs w (node : World.node) =
       match Adversary.fabricated_justification w ~claimed_succ:first with
       | Some colluder ->
         let sl = World.sign_list w colluder Types.Succ_list cover in
-        [ { sl with Types.l_time = World.now w -. 15.0 } ]
+        [ { sl with Types.l_time = World.now w -. 15.0; l_memo = None } ]
       | None -> [])
   end
   else List.map snd node.World.proofs
@@ -324,7 +326,10 @@ let handle_evidence (node : World.node) ~cid =
 let dispatch w addr (env : Types.msg Net.envelope) =
   let node = World.node w addr in
   if node.World.alive then begin
-    let reply msg = World.send w ~src:addr ~dst:env.Net.src msg in
+    (* Copy the sender out: [reply] can fire from asynchronous
+       continuations after the pooled envelope has been recycled. *)
+    let src = env.Net.src in
+    let reply msg = World.send w ~src:addr ~dst:src msg in
     match env.Net.payload with
     | Types.List_req { rid; kind; announce } ->
       Option.iter
@@ -383,7 +388,7 @@ let dispatch w addr (env : Types.msg Net.envelope) =
           | Some r -> reply (Types.Anon_resp { rid; reply = r })
           | None -> ())
     | Types.Fwd { cid; sid; delay; hops; target; query; deadline; capsule } ->
-      handle_fwd w node env ~cid ~sid ~delay ~hops ~target ~query ~deadline ~capsule
+      handle_fwd w node ~prev:src ~cid ~sid ~delay ~hops ~target ~query ~deadline ~capsule
     | Types.Fwd_reply { cid; reply; capsule } -> handle_fwd_reply w node ~cid ~reply ~capsule
     | Types.Receipt_msg { cid; receipt } ->
       if World.verify_receipt w receipt then begin
@@ -396,7 +401,7 @@ let dispatch w addr (env : Types.msg Net.envelope) =
       end
     | Types.Witness_req { rid; cid; target; fwd } ->
       if not (World.is_active_malicious node) then begin
-        Hashtbl.replace node.World.witness_waits cid (rid, env.Net.src);
+        Hashtbl.replace node.World.witness_waits cid (rid, src);
         World.send w ~src:addr ~dst:target.Peer.addr fwd;
         ignore
           (Engine.schedule w.World.engine ~delay:receipt_wait (fun () ->

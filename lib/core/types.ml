@@ -12,6 +12,7 @@ type signed_list = {
   l_time : float;
   l_sig : Keys.signature;
   l_cert : Cert.t;
+  mutable l_memo : bytes option;
 }
 
 type signed_table = {
@@ -21,34 +22,62 @@ type signed_table = {
   t_time : float;
   t_sig : Keys.signature;
   t_cert : Cert.t;
+  mutable t_memo : bytes option;
 }
 
-let peer_part p = Printf.sprintf "%d@%d" p.Peer.id p.Peer.addr
+(* Same rendering as [Printf.sprintf "%d@%d"], without the format
+   interpreter — digests hash many of these. *)
+let peer_part p = string_of_int p.Peer.id ^ "@" ^ string_of_int p.Peer.addr
 
 let peers_part peers = String.concat "," (List.map peer_part peers)
 
 let kind_part = function Succ_list -> "S" | Pred_list -> "P"
 
 let list_digest sl =
-  Wire.digest_parts
-    [
-      "slist";
-      peer_part sl.l_owner;
-      kind_part sl.l_kind;
-      peers_part sl.l_peers;
-      Printf.sprintf "%.6f" sl.l_time;
-    ]
+  match sl.l_memo with
+  | Some d -> d
+  | None ->
+    let d =
+      Wire.digest_parts
+        [
+          "slist";
+          peer_part sl.l_owner;
+          kind_part sl.l_kind;
+          peers_part sl.l_peers;
+          Printf.sprintf "%.6f" sl.l_time;
+        ]
+    in
+    sl.l_memo <- Some d;
+    d
 
 let table_digest st =
-  let finger_part = function None -> "-" | Some p -> peer_part p in
-  Wire.digest_parts
-    [
-      "table";
-      peer_part st.t_owner;
-      String.concat "," (List.map finger_part st.t_fingers);
-      peers_part st.t_succs;
-      Printf.sprintf "%.6f" st.t_time;
-    ]
+  match st.t_memo with
+  | Some d -> d
+  | None ->
+    let finger_part = function None -> "-" | Some p -> peer_part p in
+    let d =
+      Wire.digest_parts
+        [
+          "table";
+          peer_part st.t_owner;
+          String.concat "," (List.map finger_part st.t_fingers);
+          peers_part st.t_succs;
+          Printf.sprintf "%.6f" st.t_time;
+        ]
+    in
+    st.t_memo <- Some d;
+    d
+
+(* Logical equality, ignoring the digest memo (a roundtripped structure is
+   equal to its original even though only one side has computed its
+   digest). *)
+let equal_signed_list (a : signed_list) (b : signed_list) =
+  a.l_owner = b.l_owner && a.l_kind = b.l_kind && a.l_peers = b.l_peers
+  && a.l_time = b.l_time && a.l_sig = b.l_sig && a.l_cert = b.l_cert
+
+let equal_signed_table (a : signed_table) (b : signed_table) =
+  a.t_owner = b.t_owner && a.t_fingers = b.t_fingers && a.t_succs = b.t_succs
+  && a.t_time = b.t_time && a.t_sig = b.t_sig && a.t_cert = b.t_cert
 
 let table_to_proto st =
   {
@@ -86,6 +115,23 @@ type report =
     }
   | R_table_omission of { reporter : Peer.t; missing : Peer.t; table : signed_table }
   | R_dos of { reporter : Peer.t; relays : Peer.t list; cid : int; sent_at : float }
+
+let equal_report a b =
+  match (a, b) with
+  | R_neighbor x, R_neighbor y ->
+    x.reporter = y.reporter && x.missing = y.missing
+    && equal_signed_list x.claimed y.claimed
+  | R_finger x, R_finger y ->
+    equal_signed_table x.y_table y.y_table
+    && x.index = y.index
+    && equal_signed_list x.f_preds y.f_preds
+    && equal_signed_list x.p1_succs y.p1_succs
+  | R_table_omission x, R_table_omission y ->
+    x.reporter = y.reporter && x.missing = y.missing && equal_signed_table x.table y.table
+  | R_dos x, R_dos y ->
+    x.reporter = y.reporter && x.relays = y.relays && x.cid = y.cid
+    && x.sent_at = y.sent_at
+  | (R_neighbor _ | R_finger _ | R_table_omission _ | R_dos _), _ -> false
 
 type receipt = {
   rc_cid : int;

@@ -21,6 +21,10 @@ type signed_list = {
   l_time : float;
   l_sig : Octo_crypto.Keys.signature;
   l_cert : Octo_crypto.Cert.t;
+  mutable l_memo : bytes option;
+      (** cached {!list_digest}; not part of the logical value. Any
+          [{ sl with ... }] copy that alters a digest-covered field MUST
+          set [l_memo = None], or the stale digest will keep verifying. *)
 }
 
 type signed_table = {
@@ -30,13 +34,21 @@ type signed_table = {
   t_time : float;
   t_sig : Octo_crypto.Keys.signature;
   t_cert : Octo_crypto.Cert.t;
+  mutable t_memo : bytes option;
+      (** cached {!table_digest}; same contract as [l_memo]. *)
 }
 
 val list_digest : signed_list -> bytes
-(** Canonical digest covered by [l_sig]. *)
+(** Canonical digest covered by [l_sig]. Memoized on the structure: the
+    returned bytes are shared, treat them as read-only. *)
 
 val table_digest : signed_table -> bytes
-(** Canonical digest covered by [t_sig]. *)
+(** Canonical digest covered by [t_sig]. Memoized like {!list_digest}. *)
+
+val equal_signed_list : signed_list -> signed_list -> bool
+(** Logical equality, ignoring the digest memo (use instead of [=]). *)
+
+val equal_signed_table : signed_table -> signed_table -> bool
 
 val table_to_proto : signed_table -> Octo_chord.Proto.table
 (** View as a plain snapshot (for bound checking). *)
@@ -79,6 +91,9 @@ type report =
           list omits a closer live node (§4.5 pollution evidence) *)
   | R_dos of { reporter : Peer.t; relays : Peer.t list; cid : int; sent_at : float }
       (** a query that missed its deadline; [relays] in path order *)
+
+val equal_report : report -> report -> bool
+(** Logical equality, ignoring digest memos in embedded structures. *)
 
 type receipt = {
   rc_cid : int;

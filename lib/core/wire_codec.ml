@@ -71,7 +71,7 @@ let decode_signed_list data =
       let l_sig = decode_sig r in
       let l_cert = decode_cert r in
       R.expect_end r;
-      { Types.l_owner; l_kind; l_peers; l_time; l_sig; l_cert })
+      { Types.l_owner; l_kind; l_peers; l_time; l_sig; l_cert; l_memo = None })
 
 let encode_signed_table (st : Types.signed_table) =
   let w = W.create () in
@@ -93,7 +93,7 @@ let decode_signed_table data =
       let t_sig = decode_sig r in
       let t_cert = decode_cert r in
       R.expect_end r;
-      { Types.t_owner; t_fingers; t_succs; t_time; t_sig; t_cert })
+      { Types.t_owner; t_fingers; t_succs; t_time; t_sig; t_cert; t_memo = None })
 
 let encode_query (q : Types.anon_query) =
   let w = W.create () in

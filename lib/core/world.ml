@@ -71,6 +71,7 @@ type t = {
   mutable next_sid : int;
   mutable next_cid : int;
   anon_waiting : (int, int * (Types.anon_reply option -> bytes -> unit)) Hashtbl.t;
+  verify_cache : (string, bool) Hashtbl.t;
   metrics : metrics;
 }
 
@@ -158,6 +159,7 @@ let sign_list t node kind peers =
       l_time = now t;
       l_sig = Keys.forge;
       l_cert = node.cert;
+      l_memo = None;
     }
   in
   { sl with Types.l_sig = Keys.sign node.keypair.Keys.secret (Types.list_digest sl) }
@@ -171,6 +173,7 @@ let sign_table t node ~fingers ~succs =
       t_time = now t;
       t_sig = Keys.forge;
       t_cert = node.cert;
+      t_memo = None;
     }
   in
   { st with Types.t_sig = Keys.sign node.keypair.Keys.secret (Types.table_digest st) }
@@ -202,36 +205,79 @@ let sorted_cw space ~from peers =
   in
   ok 0 peers
 
-let verify_list t ?expect_owner ?max_age sl =
+(* Verification caching: a signed structure is re-verified at many sites
+   (maintenance, walks, lookups, finger checks, surveillance, the CA), so
+   the time-independent part of the check — ordering, cert binding,
+   cert validity at signing time, and the signature itself — is cached.
+   The key binds the full content digest, the signature, and the exact
+   certificate (its CA tag), so pairing a valid signature with altered
+   content can never hit a cached [true]. Caller-dependent checks
+   (expected owner, freshness, current revocation) stay outside the
+   cache. The cache is flushed on every revocation and bounded. *)
+let verify_cache_cap = 8192
+
+let cached_verdict t key compute =
+  match Hashtbl.find_opt t.verify_cache key with
+  | Some ok -> ok
+  | None ->
+    let ok = compute () in
+    if Hashtbl.length t.verify_cache >= verify_cache_cap then Hashtbl.reset t.verify_cache;
+    Hashtbl.replace t.verify_cache key ok;
+    ok
+
+let cache_key tag digest (signature : Keys.signature) (cert : Cert.t) =
+  let sg = Keys.signature_bytes signature in
+  let ct = Keys.signature_bytes cert.Cert.tag in
+  let b = Buffer.create (1 + Bytes.length digest + Bytes.length sg + Bytes.length ct) in
+  Buffer.add_string b tag;
+  Buffer.add_bytes b digest;
+  Buffer.add_bytes b sg;
+  Buffer.add_bytes b ct;
+  Buffer.contents b
+
+let verify_list t ?expect_owner ?max_age ?(revoked_ok = false) sl =
   let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
   let owner_ok =
     match expect_owner with Some o -> Peer.equal o sl.Types.l_owner | None -> true
   in
-  let order_ok =
-    match sl.Types.l_kind with
-    | Types.Succ_list -> sorted_cw t.space ~from:sl.Types.l_owner.Peer.id sl.Types.l_peers
-    | Types.Pred_list ->
-      sorted_cw t.space ~from:sl.Types.l_owner.Peer.id (List.rev sl.Types.l_peers)
-  in
-  owner_ok && order_ok
+  owner_ok
   && now t -. sl.Types.l_time <= max_age
   && sl.Types.l_time <= now t +. 0.001
-  && cert_matches sl.Types.l_cert sl.Types.l_owner
-  && Cert.verify t.authority ~now:sl.Types.l_time sl.Types.l_cert
-  && Keys.verify t.registry sl.Types.l_cert.Cert.public (Types.list_digest sl) sl.Types.l_sig
+  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:sl.Types.l_owner.Peer.id))
+  &&
+  let digest = Types.list_digest sl in
+  cached_verdict t
+    (cache_key "L" digest sl.Types.l_sig sl.Types.l_cert)
+    (fun () ->
+      let order_ok =
+        match sl.Types.l_kind with
+        | Types.Succ_list -> sorted_cw t.space ~from:sl.Types.l_owner.Peer.id sl.Types.l_peers
+        | Types.Pred_list ->
+          sorted_cw t.space ~from:sl.Types.l_owner.Peer.id (List.rev sl.Types.l_peers)
+      in
+      order_ok
+      && cert_matches sl.Types.l_cert sl.Types.l_owner
+      && Cert.verify t.authority ~now:sl.Types.l_time sl.Types.l_cert
+      && Keys.verify t.registry sl.Types.l_cert.Cert.public digest sl.Types.l_sig)
 
-let verify_table t ?expect_owner ?max_age st =
+let verify_table t ?expect_owner ?max_age ?(revoked_ok = false) st =
   let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
   let owner_ok =
     match expect_owner with Some o -> Peer.equal o st.Types.t_owner | None -> true
   in
   owner_ok
-  && sorted_cw t.space ~from:st.Types.t_owner.Peer.id st.Types.t_succs
   && now t -. st.Types.t_time <= max_age
   && st.Types.t_time <= now t +. 0.001
-  && cert_matches st.Types.t_cert st.Types.t_owner
-  && Cert.verify t.authority ~now:st.Types.t_time st.Types.t_cert
-  && Keys.verify t.registry st.Types.t_cert.Cert.public (Types.table_digest st) st.Types.t_sig
+  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:st.Types.t_owner.Peer.id))
+  &&
+  let digest = Types.table_digest st in
+  cached_verdict t
+    (cache_key "T" digest st.Types.t_sig st.Types.t_cert)
+    (fun () ->
+      sorted_cw t.space ~from:st.Types.t_owner.Peer.id st.Types.t_succs
+      && cert_matches st.Types.t_cert st.Types.t_owner
+      && Cert.verify t.authority ~now:st.Types.t_time st.Types.t_cert
+      && Keys.verify t.registry st.Types.t_cert.Cert.public digest st.Types.t_sig)
 
 let sanitize_table t node (st : Types.signed_table) =
   let gap = Octo_chord.Bounds.estimated_gap node.rt in
@@ -255,7 +301,7 @@ let sanitize_table t node (st : Types.signed_table) =
      them against — the paper is explicit that bound checking is only a
      moderate defense and that successor-list manipulation is countered by
      secret neighbor surveillance, not locally. *)
-  { st with Types.t_fingers = fingers }
+  { st with Types.t_fingers = fingers; t_memo = None }
 
 let sign_receipt t node ~cid =
   let time = now t in
@@ -424,6 +470,8 @@ let revoke t addr =
     if Trace.on () then
       Trace.emit ~time:(now t) ~node:addr (Trace.Revoked { addr; id = n.peer.Peer.id });
     Cert.revoke t.authority ~now:(now t) ~node_id:n.peer.Peer.id;
+    (* Revocation changes what verifies; drop every cached verdict. *)
+    Hashtbl.reset t.verify_cache;
     kill t addr;
     (* CRL distribution: honest nodes purge the ejected identity. *)
     Array.iter (fun other -> if other.addr <> addr then Rtable.remove other.rt ~addr) t.nodes
@@ -466,7 +514,7 @@ let make_node t ~addr ~malicious =
 let bootstrap_topology t =
   let n = Array.length t.nodes in
   let sorted = Array.map (fun node -> node.peer) t.nodes in
-  Array.sort (fun a b -> Stdlib.compare a.Peer.id b.Peer.id) sorted;
+  Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
   let index_of = Hashtbl.create n in
   Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
   let successor_of_key key =
@@ -555,6 +603,7 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
       next_sid = 0;
       next_cid = 0;
       anon_waiting = Hashtbl.create 256;
+      verify_cache = Hashtbl.create 1024;
       metrics;
     }
   in

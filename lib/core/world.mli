@@ -87,6 +87,9 @@ type t = {
       (** initiator address and continuation for in-flight anonymous
           queries, by cid; invoked with the reply and the accumulated reply
           capsule *)
+  verify_cache : (string, bool) Hashtbl.t;
+      (** cached time-independent verification verdicts, keyed by
+          (digest, signature, cert tag); bounded, flushed on revocation *)
   metrics : metrics;
 }
 
@@ -146,10 +149,18 @@ val honest_list : t -> node -> Types.list_kind -> Types.signed_list
 val honest_table : t -> node -> Types.signed_table
 
 val verify_list :
-  t -> ?expect_owner:Peer.t -> ?max_age:float -> Types.signed_list -> bool
-(** Signature, certificate, freshness, owner match, clockwise ordering. *)
+  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_list -> bool
+(** Signature, certificate, freshness, owner match, clockwise ordering.
+    By default a structure from a *currently revoked* identity fails, even
+    if it was signed before the revocation — routing must never act on a
+    revoked node's state, and cached verdicts must not outlive ejection.
+    The CA passes [~revoked_ok:true] when weighing historical evidence
+    (justification chains legitimately verify documents whose signer has
+    since been ejected). The expensive time-independent part of the check
+    is cached; see {!t.verify_cache}. *)
 
-val verify_table : t -> ?expect_owner:Peer.t -> ?max_age:float -> Types.signed_table -> bool
+val verify_table :
+  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_table -> bool
 
 val sanitize_table : t -> node -> Types.signed_table -> Types.signed_table
 (** NISAN-style bound filtering (§4.1): drop fingers implausibly far past

@@ -14,5 +14,13 @@ val nonce_size : int
 val encrypt : key:bytes -> nonce:bytes -> bytes -> bytes
 (** CTR encryption; same length as the input. *)
 
+val xor_in_place : key:bytes -> nonce_src:bytes -> nonce_off:int -> bytes -> off:int -> len:int -> unit
+(** [xor_in_place ~key ~nonce_src ~nonce_off buf ~off ~len] XORs the
+    keystream for the {!nonce_size}-byte nonce at [nonce_src.(nonce_off)]
+    over [buf.(off..off+len-1)], allocating nothing. Applying it twice with
+    the same key/nonce is the identity (CTR involution). [nonce_src] may
+    alias [buf] as long as the nonce bytes are outside the XORed range —
+    the onion layout (nonce header, ciphertext body) relies on this. *)
+
 val decrypt : key:bytes -> nonce:bytes -> bytes -> bytes
 (** Inverse of {!encrypt} (CTR is an involution given key and nonce). *)

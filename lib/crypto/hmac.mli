@@ -2,7 +2,13 @@
     keystream derivation. Tested against RFC 4231 vectors. *)
 
 val mac : key:bytes -> bytes -> bytes
-(** 32-byte authentication tag. *)
+(** 32-byte authentication tag. Chain states for the key's inner/outer pad
+    blocks are cached (bounded, keyed by key content), so repeated MACs
+    under one key skip half the compressions. *)
+
+val mac_into : key:bytes -> bytes -> bytes -> int -> unit
+(** [mac_into ~key msg out off] writes the 32-byte tag at [out.(off)]
+    without allocating. *)
 
 val mac_string : key:bytes -> string -> bytes
 

@@ -10,15 +10,7 @@ type registry = (public, secret) Hashtbl.t
 let create_registry () : registry = Hashtbl.create 256
 
 let generate registry rng =
-  let secret = Bytes.create 32 in
-  for i = 0 to 3 do
-    let word = Octo_sim.Rng.bits64 rng in
-    for j = 0 to 7 do
-      Bytes.set secret
-        ((8 * i) + j)
-        (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
-    done
-  done;
+  let secret = Octo_sim.Rng.bytes rng 32 in
   let public = Bytes.sub (Sha256.digest_bytes secret) 0 20 in
   Hashtbl.replace registry public secret;
   { secret; public }

@@ -1,45 +1,51 @@
 let layer_overhead = Cipher.nonce_size
 
-let gen_key rng =
-  let key = Bytes.create Cipher.key_size in
-  for i = 0 to 1 do
-    let word = Octo_sim.Rng.bits64 rng in
-    for j = 0 to 7 do
-      Bytes.set key
-        ((8 * i) + j)
-        (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
-    done
-  done;
-  key
-
-let gen_nonce rng =
-  let nonce = Bytes.create Cipher.nonce_size in
-  for i = 0 to 1 do
-    let word = Octo_sim.Rng.bits64 rng in
-    for j = 0 to 7 do
-      Bytes.set nonce
-        ((8 * i) + j)
-        (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
-    done
-  done;
-  nonce
+let gen_key rng = Octo_sim.Rng.bytes rng Cipher.key_size
+let gen_nonce rng = Octo_sim.Rng.bytes rng Cipher.nonce_size
 
 let add_layer ~rng ~key payload =
+  let plen = Bytes.length payload in
+  let out = Bytes.create (Cipher.nonce_size + plen) in
   let nonce = gen_nonce rng in
-  let cipher = Cipher.encrypt ~key ~nonce payload in
-  Bytes.cat nonce cipher
+  Bytes.blit nonce 0 out 0 Cipher.nonce_size;
+  Bytes.blit payload 0 out Cipher.nonce_size plen;
+  Cipher.xor_in_place ~key ~nonce_src:out ~nonce_off:0 out ~off:Cipher.nonce_size ~len:plen;
+  out
 
+(* All layers are built in the one output buffer: the payload sits at the
+   end, and each pass writes a nonce header and encrypts everything after
+   it in place. Iterating innermost-first keeps both the RNG draw order
+   and the ciphertext bytes identical to the historical per-layer
+   [Bytes.cat] construction. The buffer is fresh per call — capsules are
+   retained inside in-flight messages. *)
 let wrap ~rng ~keys payload =
-  List.fold_left (fun acc key -> add_layer ~rng ~key acc) payload (List.rev keys)
+  match keys with
+  | [] -> Bytes.copy payload
+  | keys ->
+    let keys = Array.of_list keys in
+    let l = Array.length keys in
+    let plen = Bytes.length payload in
+    let total = (l * layer_overhead) + plen in
+    let buf = Bytes.create total in
+    Bytes.blit payload 0 buf (l * layer_overhead) plen;
+    for i = l - 1 downto 0 do
+      let noff = i * layer_overhead in
+      let nonce = gen_nonce rng in
+      Bytes.blit nonce 0 buf noff Cipher.nonce_size;
+      Cipher.xor_in_place ~key:keys.(i) ~nonce_src:buf ~nonce_off:noff buf
+        ~off:(noff + Cipher.nonce_size)
+        ~len:(total - noff - Cipher.nonce_size)
+    done;
+    buf
 
 let peel ~key ciphertext =
-  if Bytes.length ciphertext < Cipher.nonce_size then None
+  let clen = Bytes.length ciphertext in
+  if clen < Cipher.nonce_size then None
   else begin
-    let nonce = Bytes.sub ciphertext 0 Cipher.nonce_size in
-    let body =
-      Bytes.sub ciphertext Cipher.nonce_size (Bytes.length ciphertext - Cipher.nonce_size)
-    in
-    Some (Cipher.decrypt ~key ~nonce body)
+    let blen = clen - Cipher.nonce_size in
+    let body = Bytes.sub ciphertext Cipher.nonce_size blen in
+    Cipher.xor_in_place ~key ~nonce_src:ciphertext ~nonce_off:0 body ~off:0 ~len:blen;
+    Some body
   end
 
 let peel_all ~keys ciphertext =

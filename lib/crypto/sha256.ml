@@ -40,18 +40,35 @@ let init () =
     w = Array.make 64 0;
   }
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+let reset ctx =
+  ctx.h.(0) <- 0x6a09e667;
+  ctx.h.(1) <- 0xbb67ae85;
+  ctx.h.(2) <- 0x3c6ef372;
+  ctx.h.(3) <- 0xa54ff53a;
+  ctx.h.(4) <- 0x510e527f;
+  ctx.h.(5) <- 0x9b05688c;
+  ctx.h.(6) <- 0x1f83d9ab;
+  ctx.h.(7) <- 0x5be0cd19;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
 
+let[@inline always] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+(* [block]/[off] access is bounds-unchecked: every caller hands a block it
+   just sized (off + 64 <= length), and this loop dominates the profile. *)
 let compress ctx block off =
   let w = ctx.w in
   for i = 0 to 15 do
-    let b j = Char.code (Bytes.get block (off + (4 * i) + j)) in
-    w.(i) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+    let base = off + (4 * i) in
+    let b j = Char.code (Bytes.unsafe_get block (base + j)) in
+    Array.unsafe_set w i ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
   done;
   for i = 16 to 63 do
-    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask32)
   done;
   let h = ctx.h in
   let a = ref h.(0)
@@ -65,7 +82,9 @@ let compress ctx block off =
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g land mask32) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask32 in
@@ -114,56 +133,71 @@ let update ctx data =
 
 let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
 
-let finalize ctx =
+(* Padding (0x80, zeros, 64-bit big-endian bit length) happens inside
+   [ctx.buf]: at most two compressions and no intermediate allocation. *)
+let finalize_into ctx out off =
   let bit_len = ctx.total * 8 in
-  (* Padding: 0x80, zeros, 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod 64 in
-    if rem = 0 then 1 else 1 + (64 - rem)
-  in
-  let pad = Bytes.make (pad_len + 8) '\000' in
-  Bytes.set pad 0 '\x80';
-  for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len + i)
-      (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
-  done;
-  (* Bypass the total counter: update as raw blocks. *)
-  let data = pad in
-  let len = Bytes.length data in
-  let pos = ref 0 in
-  if ctx.buf_len > 0 then begin
-    let need = 64 - ctx.buf_len in
-    let take = min need len in
-    Bytes.blit data 0 ctx.buf ctx.buf_len take;
-    ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
-    if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
-      ctx.buf_len <- 0
-    end
+  let bl = ctx.buf_len in
+  Bytes.set ctx.buf bl '\x80';
+  if bl + 1 + 8 <= 64 then Bytes.fill ctx.buf (bl + 1) (56 - (bl + 1)) '\000'
+  else begin
+    Bytes.fill ctx.buf (bl + 1) (64 - (bl + 1)) '\000';
+    compress ctx ctx.buf 0;
+    Bytes.fill ctx.buf 0 56 '\000'
   end;
-  while len - !pos >= 64 do
-    compress ctx data !pos;
-    pos := !pos + 64
-  done;
-  assert (len - !pos = 0 && ctx.buf_len = 0);
-  let out = Bytes.create 32 in
   for i = 0 to 7 do
-    let word = ctx.h.(i) in
-    Bytes.set out (4 * i) (Char.chr ((word lsr 24) land 0xFF));
-    Bytes.set out ((4 * i) + 1) (Char.chr ((word lsr 16) land 0xFF));
-    Bytes.set out ((4 * i) + 2) (Char.chr ((word lsr 8) land 0xFF));
-    Bytes.set out ((4 * i) + 3) (Char.chr (word land 0xFF))
+    Bytes.set ctx.buf (56 + i) (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
   done;
+  compress ctx ctx.buf 0;
+  ctx.buf_len <- 0;
+  let h = ctx.h in
+  for i = 0 to 7 do
+    let word = h.(i) in
+    Bytes.set out (off + (4 * i)) (Char.unsafe_chr ((word lsr 24) land 0xFF));
+    Bytes.set out (off + (4 * i) + 1) (Char.unsafe_chr ((word lsr 16) land 0xFF));
+    Bytes.set out (off + (4 * i) + 2) (Char.unsafe_chr ((word lsr 8) land 0xFF));
+    Bytes.set out (off + (4 * i) + 3) (Char.unsafe_chr (word land 0xFF))
+  done
+
+let finalize ctx =
+  let out = Bytes.create 32 in
+  finalize_into ctx out 0;
   out
 
-let digest_bytes data =
-  let ctx = init () in
-  update ctx data;
-  finalize ctx
+(* Chain-state snapshots, for callers that replay a common prefix (HMAC's
+   per-key pad blocks). Only valid at block boundaries. *)
+type state = { sh : int array; stotal : int }
 
-let digest_string s = digest_bytes (Bytes.of_string s)
+let save ctx =
+  assert (ctx.buf_len = 0);
+  { sh = Array.copy ctx.h; stotal = ctx.total }
+
+let restore ctx st =
+  Array.blit st.sh 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- st.stotal
+
+(* One-shot digest through a module-level scratch context: no per-call ctx
+   allocation. The simulator is single-threaded; [update]/[finalize_into]
+   never call back into this module, so reuse is safe. *)
+let oneshot = init ()
+
+let digest_into data out off =
+  reset oneshot;
+  update oneshot data;
+  finalize_into oneshot out off
+
+let digest_bytes data =
+  let out = Bytes.create 32 in
+  digest_into data out 0;
+  out
+
+let digest_string s =
+  let out = Bytes.create 32 in
+  reset oneshot;
+  update_string oneshot s;
+  finalize_into oneshot out 0;
+  out
 
 let hex digest =
   let buf = Buffer.create (2 * Bytes.length digest) in

@@ -8,14 +8,32 @@ type ctx
 (** Incremental hashing context. *)
 
 val init : unit -> ctx
+val reset : ctx -> unit
 val update : ctx -> bytes -> unit
 val update_string : ctx -> string -> unit
 
 val finalize : ctx -> bytes
-(** 32-byte digest. The context must not be reused afterwards. *)
+(** 32-byte digest. The context must be {!reset} before reuse. *)
+
+val finalize_into : ctx -> bytes -> int -> unit
+(** [finalize_into ctx out off] writes the 32-byte digest at [out.(off)]
+    without allocating. *)
+
+type state
+(** Chain-state snapshot, valid only at a 64-byte block boundary. *)
+
+val save : ctx -> state
+val restore : ctx -> state -> unit
+(** [restore ctx st] rewinds [ctx] to the snapshot; hashing a common prefix
+    once and restoring per message skips its compressions (HMAC key pads). *)
 
 val digest_bytes : bytes -> bytes
 val digest_string : string -> bytes
+
+val digest_into : bytes -> bytes -> int -> unit
+(** [digest_into data out off] one-shot digest written at [out.(off)];
+    reuses a module-level context, so no per-call allocation beyond the
+    caller's buffers. *)
 
 val hex : bytes -> string
 (** Lowercase hex rendering of a digest. *)

@@ -15,8 +15,13 @@ let signed_list ~entries = routing_entries entries + signature + timestamp + cer
 
 let onion_wrapped ~layers payload = payload + (layers * (onion_layer + 6))
 
+(* Shared context: digests are one-shot and the simulator is
+   single-threaded, so no per-call ctx allocation. *)
+let digest_ctx = Sha256.init ()
+
 let digest_parts parts =
-  let ctx = Sha256.init () in
+  let ctx = digest_ctx in
+  Sha256.reset ctx;
   List.iter
     (fun part ->
       Sha256.update_string ctx (string_of_int (String.length part));

@@ -39,7 +39,7 @@ let calibrate rng t ~target_mean =
   let scale = target_mean /. mean in
   Array.iter (fun c -> Array.iteri (fun d x -> c.(d) <- x *. scale) c) t.coords;
   Array.iteri (fun i a -> t.access.(i) <- a *. scale) t.access;
-  Array.sort compare vals;
+  Array.sort Float.compare vals;
   t.mean <- target_mean;
   t.median <- (if samples = 0 then 0.0 else vals.(samples / 2) *. scale)
 

@@ -23,7 +23,7 @@ module Dist = struct
   let ensure_sorted t =
     if not t.sorted then begin
       let view = Array.sub t.data 0 t.len in
-      Array.sort compare view;
+      Array.sort Float.compare view;
       Array.blit view 0 t.data 0 t.len;
       t.sorted <- true
     end

@@ -1,11 +1,16 @@
 type addr = int
 
+(* Fields are mutable so delivered envelopes can be recycled through a
+   per-network freelist: [send] is the hottest allocation site in the
+   simulator. Handlers and drop hooks receive an envelope only for the
+   duration of the call — they must copy out any field a delayed closure
+   needs, never retain the envelope itself. *)
 type 'm envelope = {
-  src : addr;
-  dst : addr;
-  size : int;
-  sent_at : float;
-  payload : 'm;
+  mutable src : addr;
+  mutable dst : addr;
+  mutable size : int;
+  mutable sent_at : float;
+  mutable payload : 'm;
 }
 
 type 'm t = {
@@ -20,6 +25,8 @@ type 'm t = {
   processing : (Rng.t -> float) option array;
   mutable sent : int;
   mutable delivered : int;
+  mutable pool : 'm envelope array;
+  mutable pool_len : int;
 }
 
 let create engine latency =
@@ -36,7 +43,37 @@ let create engine latency =
     processing = Array.make n None;
     sent = 0;
     delivered = 0;
+    pool = [||];
+    pool_len = 0;
   }
+
+(* Enough to cover the envelopes in flight at any instant; beyond the cap
+   released envelopes are simply left to the GC. *)
+let pool_cap = 256
+
+let release t env =
+  if t.pool_len < pool_cap then begin
+    if t.pool_len >= Array.length t.pool then begin
+      let grown = Array.make (min pool_cap (max 16 (2 * Array.length t.pool))) env in
+      Array.blit t.pool 0 grown 0 t.pool_len;
+      t.pool <- grown
+    end;
+    t.pool.(t.pool_len) <- env;
+    t.pool_len <- t.pool_len + 1
+  end
+
+let acquire t ~src ~dst ~size ~sent_at payload =
+  if t.pool_len > 0 then begin
+    t.pool_len <- t.pool_len - 1;
+    let env = t.pool.(t.pool_len) in
+    env.src <- src;
+    env.dst <- dst;
+    env.size <- size;
+    env.sent_at <- sent_at;
+    env.payload <- payload;
+    env
+  end
+  else { src; dst; size; sent_at; payload }
 
 let engine t = t.engine
 let latency t = t.latency
@@ -49,16 +86,18 @@ let set_alive t addr alive = t.alive.(addr) <- alive
 let is_alive t addr = t.alive.(addr)
 
 let send t ~src ~dst ~size payload =
-  let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
+  let sent_at = Engine.now t.engine in
+  let env = acquire t ~src ~dst ~size ~sent_at payload in
   t.sent <- t.sent + 1;
   t.tx.(src) <- t.tx.(src) + size;
   if Trace.on () then
-    Trace.emit ~time:env.sent_at ~node:src (Trace.Net_send { src; dst; size });
+    Trace.emit ~time:sent_at ~node:src (Trace.Net_send { src; dst; size });
   let dropped = match t.drop_hook with Some hook -> hook env | None -> false in
   if dropped then begin
     if Trace.on () then
-      Trace.emit ~time:env.sent_at ~node:src
-        (Trace.Net_drop { src; dst; size; reason = "hook" })
+      Trace.emit ~time:sent_at ~node:src
+        (Trace.Net_drop { src; dst; size; reason = "hook" });
+    release t env
   end
   else begin
     let delay = Latency.sample_one_way t.latency t.jitter_rng src dst in
@@ -68,22 +107,23 @@ let send t ~src ~dst ~size payload =
     ignore
       (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
            let now = Engine.now t.engine in
-           if t.alive.(dst) then begin
-             match t.handlers.(dst) with
-             | Some handler ->
-               t.delivered <- t.delivered + 1;
-               t.rx.(dst) <- t.rx.(dst) + size;
-               if Trace.on () then
-                 Trace.emit ~time:now ~node:dst (Trace.Net_deliver { src; dst; size });
-               handler env
-             | None ->
-               if Trace.on () then
-                 Trace.emit ~time:now ~node:dst
-                   (Trace.Net_drop { src; dst; size; reason = "unregistered" })
-           end
-           else if Trace.on () then
-             Trace.emit ~time:now ~node:dst
-               (Trace.Net_drop { src; dst; size; reason = "dead" })))
+           (if t.alive.(dst) then begin
+              match t.handlers.(dst) with
+              | Some handler ->
+                t.delivered <- t.delivered + 1;
+                t.rx.(dst) <- t.rx.(dst) + size;
+                if Trace.on () then
+                  Trace.emit ~time:now ~node:dst (Trace.Net_deliver { src; dst; size });
+                handler env
+              | None ->
+                if Trace.on () then
+                  Trace.emit ~time:now ~node:dst
+                    (Trace.Net_drop { src; dst; size; reason = "unregistered" })
+            end
+            else if Trace.on () then
+              Trace.emit ~time:now ~node:dst
+                (Trace.Net_drop { src; dst; size; reason = "dead" }));
+           release t env))
   end
 
 let set_drop_hook t hook = t.drop_hook <- hook

@@ -13,12 +13,16 @@
 type addr = int
 
 type 'm envelope = {
-  src : addr;
-  dst : addr;
-  size : int;  (** bytes on the wire *)
-  sent_at : float;
-  payload : 'm;
+  mutable src : addr;
+  mutable dst : addr;
+  mutable size : int;  (** bytes on the wire *)
+  mutable sent_at : float;
+  mutable payload : 'm;
 }
+(** Envelopes are pooled: after a handler (or drop hook) returns, the
+    record is recycled for a later [send]. Handlers must copy out any
+    field that a delayed closure needs and must never retain the
+    envelope itself. The payload value is immutable and safe to keep. *)
 
 type 'm t
 

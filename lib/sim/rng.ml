@@ -38,6 +38,23 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
+(* Byte order matches the historical per-call loops (Keys.generate,
+   Onion.gen_key/gen_nonce): each 64-bit draw is consumed least-significant
+   byte first, so existing seeds reproduce byte-identical streams. *)
+let bytes t n =
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let word = bits64 t in
+    let chunk = min 8 (n - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.unsafe_set out (!i + j)
+        (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
+    done;
+    i := !i + chunk
+  done;
+  out
+
 let split t = of_seed64 (bits64 t)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 

@@ -23,6 +23,11 @@ val copy : t -> t
 val bits64 : t -> int64
 (** 64 uniformly random bits. *)
 
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniformly random bytes. Each underlying 64-bit draw
+    is consumed least-significant byte first (the historical layout of the
+    key/nonce generators), so streams are stable across refactors. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
 

@@ -31,7 +31,8 @@ let test_signed_list_roundtrip () =
         (fun kind ->
           let sl = World.honest_list w node kind in
           match Wire_codec.decode_signed_list (Wire_codec.encode_signed_list sl) with
-          | Ok sl' -> Alcotest.(check bool) "signed_list identity" true (sl = sl')
+          | Ok sl' ->
+            Alcotest.(check bool) "signed_list identity" true (Types.equal_signed_list sl sl')
           | Error e -> Alcotest.failf "decode failed: %s" e)
         [ Types.Succ_list; Types.Pred_list ])
     w.World.nodes
@@ -43,7 +44,7 @@ let test_signed_table_roundtrip () =
       let st = World.honest_table w node in
       match Wire_codec.decode_signed_table (Wire_codec.encode_signed_table st) with
       | Ok st' ->
-        Alcotest.(check bool) "signed_table identity" true (st = st');
+        Alcotest.(check bool) "signed_table identity" true (Types.equal_signed_table st st');
         (* The digest the signature covers survives the round trip too. *)
         Alcotest.(check bool) "digest stable" true
           (Types.table_digest st = Types.table_digest st')
@@ -75,7 +76,7 @@ let test_report_roundtrip () =
   List.iter
     (fun rep ->
       match Wire_codec.decode_report (Wire_codec.encode_report rep) with
-      | Ok rep' -> Alcotest.(check bool) "report identity" true (rep = rep')
+      | Ok rep' -> Alcotest.(check bool) "report identity" true (Types.equal_report rep rep')
       | Error e -> Alcotest.failf "decode failed: %s" e)
     reports
 

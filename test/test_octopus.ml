@@ -31,7 +31,7 @@ let test_world_bootstrap () =
   let peers =
     Array.to_list w.World.nodes
     |> List.map (fun (n : World.node) -> n.World.peer)
-    |> List.sort (fun a b -> compare a.Peer.id b.Peer.id)
+    |> List.sort (fun a b -> Int.compare a.Peer.id b.Peer.id)
     |> Array.of_list
   in
   Array.iteri
@@ -86,7 +86,7 @@ let test_signed_list_verify_and_tamper () =
   Alcotest.(check bool) "wrong owner" false (World.verify_list w ~expect_owner:other.World.peer sl);
   (match sl.Types.l_peers with
   | dropped :: rest ->
-    let tampered = { sl with Types.l_peers = rest } in
+    let tampered = { sl with Types.l_peers = rest; l_memo = None } in
     Alcotest.(check bool)
       (Printf.sprintf "tampered (dropped %d) rejected" dropped.Peer.id)
       false (World.verify_list w tampered)
@@ -94,7 +94,9 @@ let test_signed_list_verify_and_tamper () =
   (* An adversary cannot re-sign as the owner. *)
   let mal = World.node w 2 in
   let forged = World.sign_list w mal Types.Succ_list sl.Types.l_peers in
-  let forged = { forged with Types.l_owner = node.World.peer; l_cert = node.World.cert } in
+  let forged =
+    { forged with Types.l_owner = node.World.peer; l_cert = node.World.cert; l_memo = None }
+  in
   Alcotest.(check bool) "forged signer rejected" false (World.verify_list w forged)
 
 let test_signed_table_freshness () =
@@ -109,10 +111,39 @@ let test_signed_list_ordering_enforced () =
   let _, w, _ = make_world ~n:50 () in
   let node = World.node w 0 in
   let sl = World.honest_list w node Types.Succ_list in
-  let shuffled = { sl with Types.l_peers = List.rev sl.Types.l_peers } in
+  let shuffled = { sl with Types.l_peers = List.rev sl.Types.l_peers; l_memo = None } in
   (* Re-sign properly so only the ordering check can reject. *)
   let resigned = World.sign_list w node Types.Succ_list shuffled.Types.l_peers in
   Alcotest.(check bool) "disordered rejected" false (World.verify_list w resigned)
+
+(* Regression: the verification cache must stay revocation-aware. A table
+   that verified (and was cached as valid) before its owner's certificate
+   was revoked must verify [false] afterwards — a stale cached verdict
+   here would let ejected nodes keep serving signed routing state. *)
+let test_verify_cache_revocation_aware () =
+  let engine, w, _ = make_world ~n:50 () in
+  let node = World.node w 0 in
+  let st = World.honest_table w node in
+  let sl = World.honest_list w node Types.Succ_list in
+  (* Prime the cache with valid verdicts. *)
+  Alcotest.(check bool) "table valid pre-revocation" true (World.verify_table w st);
+  Alcotest.(check bool) "list valid pre-revocation" true (World.verify_list w sl);
+  (* Revocation strictly after signing: certificates are valid at signing
+     time, so the documents remain usable as historical evidence. *)
+  run engine ~until:1.0;
+  World.revoke w node.World.peer.Peer.addr;
+  Alcotest.(check bool) "table invalid post-revocation" false (World.verify_table w st);
+  Alcotest.(check bool) "list invalid post-revocation" false (World.verify_list w sl);
+  (* CA investigations examine historical evidence: with [~revoked_ok:true]
+     the documents still verify against the signing-time checks. *)
+  Alcotest.(check bool) "table ok as historical evidence" true
+    (World.verify_table w ~revoked_ok:true st);
+  Alcotest.(check bool) "list ok as historical evidence" true
+    (World.verify_list w ~revoked_ok:true sl);
+  (* An unrelated node's state is unaffected by the flushed cache. *)
+  let other = World.node w 1 in
+  Alcotest.(check bool) "other table still valid" true
+    (World.verify_table w (World.honest_table w other))
 
 (* ------------------------------------------------------------------ *)
 (* Anonymous queries *)
@@ -713,6 +744,8 @@ let () =
           Alcotest.test_case "list verify/tamper" `Quick test_signed_list_verify_and_tamper;
           Alcotest.test_case "table freshness" `Quick test_signed_table_freshness;
           Alcotest.test_case "ordering enforced" `Quick test_signed_list_ordering_enforced;
+          Alcotest.test_case "verify cache revocation-aware" `Quick
+            test_verify_cache_revocation_aware;
         ] );
       ( "anon-query",
         [

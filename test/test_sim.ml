@@ -113,6 +113,41 @@ let test_rng_sample_small_pool () =
   let s = Rng.sample rng ~k:10 [| 1; 2; 3 |] in
   Alcotest.(check int) "clamped" 3 (Array.length s)
 
+(* [Rng.bytes] must expand each 64-bit draw least-significant byte first —
+   the layout the key/nonce loops always used — so ciphertexts and traces
+   stay stable across the refactor that centralized them. *)
+let test_rng_bytes_layout () =
+  List.iter
+    (fun n ->
+      let a = Rng.create ~seed:19 and b = Rng.create ~seed:19 in
+      let got = Rng.bytes a n in
+      Alcotest.(check int) "length" n (Bytes.length got);
+      let expected = Bytes.create n in
+      let i = ref 0 in
+      while !i < n do
+        let word = Rng.bits64 b in
+        let chunk = min 8 (n - !i) in
+        for j = 0 to chunk - 1 do
+          Bytes.set expected (!i + j)
+            (Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * j)) land 0xFF))
+        done;
+        i := !i + chunk
+      done;
+      Alcotest.(check bytes) "LSB-first expansion" expected got;
+      (* Both generators consumed the same number of draws. *)
+      Alcotest.(check int64) "stream position" (Rng.bits64 b) (Rng.bits64 a))
+    [ 0; 1; 7; 8; 9; 16; 31; 32 ]
+
+let test_rng_bytes_uniformish () =
+  let rng = Rng.create ~seed:20 in
+  let counts = Array.make 256 0 in
+  let sample = Rng.bytes rng 65_536 in
+  Bytes.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) sample;
+  Array.iteri
+    (fun v c ->
+      if c = 0 then Alcotest.failf "byte value %d never appeared in 64 KiB" v)
+    counts
+
 let prop_shuffle_is_permutation =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
     QCheck.(pair small_int (list small_int))
@@ -169,7 +204,46 @@ let prop_heap_sorts =
       let rec drain acc =
         match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
       in
-      drain [] = List.stable_sort compare l)
+      drain [] = List.stable_sort Float.compare l)
+
+let heap_drain h =
+  let rec go acc =
+    match Heap.pop h with None -> List.rev acc | Some (p, v) -> go ((p, v) :: acc)
+  in
+  go []
+
+(* Pop priorities never decrease, under a coarse priority range that forces
+   many ties interleaved with pops. *)
+let prop_heap_pop_nondecreasing =
+  QCheck.Test.make ~name:"heap pop priorities are nondecreasing" ~count:200
+    QCheck.(list (int_bound 8))
+    (fun l ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:(float_of_int p) ()) l;
+      let pops = heap_drain h in
+      let rec nondecreasing = function
+        | (a, ()) :: ((b, ()) :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing pops)
+
+(* FIFO among ties even when equal priorities arrive far apart: tag each
+   push with its global insertion index and require that, within every
+   priority class, indices come back in increasing order. *)
+let prop_heap_ties_fifo =
+  QCheck.Test.make ~name:"heap ties pop FIFO by insertion order" ~count:200
+    QCheck.(list (int_bound 4))
+    (fun l ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:(float_of_int p) i) l;
+      let pops = heap_drain h in
+      let last = Hashtbl.create 8 in
+      List.for_all
+        (fun (p, i) ->
+          let ok = match Hashtbl.find_opt last p with None -> true | Some j -> j < i in
+          Hashtbl.replace last p i;
+          ok)
+        pops)
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)
@@ -620,6 +694,8 @@ let () =
           Alcotest.test_case "coin bias" `Quick test_rng_coin;
           Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
           Alcotest.test_case "sample small pool" `Quick test_rng_sample_small_pool;
+          Alcotest.test_case "bytes layout" `Quick test_rng_bytes_layout;
+          Alcotest.test_case "bytes uniformish" `Quick test_rng_bytes_uniformish;
         ]
         @ qsuite [ prop_shuffle_is_permutation; prop_permutation_valid ] );
       ( "heap",
@@ -628,7 +704,7 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "size and clear" `Quick test_heap_size_clear;
         ]
-        @ qsuite [ prop_heap_sorts ] );
+        @ qsuite [ prop_heap_sorts; prop_heap_pop_nondecreasing; prop_heap_ties_fifo ] );
       ( "engine",
         [
           Alcotest.test_case "order" `Quick test_engine_order;
