@@ -76,7 +76,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
        (* An era input must be from the stabilization rounds just before
           the claim; provenance documents are legitimately older. *)
        || World.now w -. proof.Types.l_time
-          <= World.now w -. time +. (3.0 *. cfg.Config.stabilize_every) +. 10.0)
+          <= World.now w -. time +. cfg.Config.ca_proof_gap_slack)
   in
   let justify (owner : Peer.t) ~source ~provenance ~before handler =
     ca_rpc w ~dst:owner.Peer.addr
@@ -242,10 +242,8 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                             when zs.Types.l_kind = Types.Succ_list
                                  && World.verify_list w ~revoked_ok:true ~expect_owner:missing zs
                                  && List.exists (Peer.equal about) zs.Types.l_peers ->
-                            ignore
-                              (Octo_sim.Engine.schedule w.World.engine
-                                 ~delay:(4.0 *. cfg.Config.stabilize_every)
-                                 (fun () ->
+                            World.after w ~delay:cfg.Config.ca_recheck_delay
+                              (fun () ->
                                    ca_rpc w ~dst:about.Peer.addr
                                      ~make:(fun rid ->
                                        Types.List_req
@@ -261,7 +259,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
                                                       again.Types.l_peers) ->
                                          convict about ~time:again.Types.l_time
                                            "head-pred-omission"
-                                       | _ -> k Nothing)))
+                                       | _ -> k Nothing))
                           | _ -> k Nothing)
                     | Some _ | None -> k Nothing
                   end)
@@ -375,7 +373,7 @@ let investigate_omission w ~missing ~owner ~peers ~time ~depth k =
 let investigate_finger w ~strikes ~(y_table : Types.signed_table) ~index ~f_preds ~p1_succs k =
   let cfg = w.World.cfg in
   let space = w.World.space in
-  let generous = 60.0 in
+  let generous = cfg.Config.ca_finger_max_age in
   let structural_ok =
     World.verify_table w ~revoked_ok:true ~max_age:generous y_table
     && World.verify_list w ~revoked_ok:true ~max_age:generous f_preds
@@ -424,7 +422,7 @@ let investigate_finger w ~strikes ~(y_table : Types.signed_table) ~index ~f_pred
                 List.filter
                   (fun p ->
                     p.Types.l_kind = Types.Succ_list
-                    && World.verify_list w ~revoked_ok:true ~max_age:120.0 p)
+                    && World.verify_list w ~revoked_ok:true ~max_age:w.World.cfg.Config.ca_intro_max_age p)
                   proofs
               in
               let oldest =
@@ -476,7 +474,7 @@ let investigate_finger w ~strikes ~(y_table : Types.signed_table) ~index ~f_pred
 
 let investigate_dos w ~(reporter : Peer.t) ~relays ~cid ~sent_at k =
   let cfg = w.World.cfg in
-  let deadline = sent_at +. cfg.Config.query_deadline +. (2.0 *. Serve.receipt_wait) +. 2.0 in
+  let deadline = sent_at +. cfg.Config.query_deadline +. cfg.Config.ca_dos_slack in
   let chain = Array.of_list (reporter :: relays) in
   let n = Array.length chain in
   if n < 2 then k Nothing
@@ -541,10 +539,8 @@ let investigate_dos w ~(reporter : Peer.t) ~relays ~cid ~sent_at k =
       walk 0
     in
     (* Let the witness protocol finish before demanding evidence. *)
-    ignore
-      (Octo_sim.Engine.schedule w.World.engine
-         ~delay:((3.0 *. Serve.receipt_wait) +. 1.0)
-         (fun () ->
+    World.after w ~delay:w.World.cfg.Config.ca_evidence_delay
+      (fun () ->
            Array.iteri
              (fun i (peer : Peer.t) ->
                ca_rpc w ~dst:peer.Peer.addr
@@ -559,7 +555,7 @@ let investigate_dos w ~(reporter : Peer.t) ~relays ~cid ~sent_at k =
                    | _ -> ());
                    decr remaining;
                    if !remaining = 0 then analyze ()))
-             chain))
+             chain)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -597,14 +593,14 @@ let handle_report t report =
   else begin
     match report with
     | Types.R_neighbor { missing; claimed; _ } ->
-      let generous = 30.0 in
+      let generous = w.World.cfg.Config.ca_evidence_max_age in
       if World.verify_list w ~revoked_ok:true ~max_age:generous claimed && claimed.Types.l_kind = Types.Succ_list
       then
         investigate_omission w ~missing ~owner:claimed.Types.l_owner
           ~peers:claimed.Types.l_peers ~time:claimed.Types.l_time ~depth:0 k
       else k Nothing
     | Types.R_table_omission { missing; table; _ } ->
-      if World.verify_table w ~revoked_ok:true ~max_age:30.0 table then
+      if World.verify_table w ~revoked_ok:true ~max_age:w.World.cfg.Config.ca_evidence_max_age table then
         investigate_omission w ~missing ~owner:table.Types.t_owner ~peers:table.Types.t_succs
           ~time:table.Types.t_time ~depth:0 k
       else k Nothing
@@ -623,7 +619,7 @@ let handle t (env : Types.msg Net.envelope) =
     | Types.List_resp _ | Types.Table_resp _ | Types.Anon_resp _ | Types.Witness_resp _ ) as
     resp -> (
     match Types.rid resp with
-    | Some rid -> ignore (Net.Pending.resolve t.w.World.pending rid resp)
+    | Some rid -> ignore (World.resolve t.w rid resp)
     | None -> ())
   | Types.List_req _ | Types.Table_req _ | Types.Ping_req _ | Types.Anon_req _ | Types.Fwd _
   | Types.Fwd_reply _ | Types.Receipt_msg _ | Types.Witness_req _ | Types.Justify_req _

@@ -21,6 +21,48 @@ type t = {
   max_chain_depth : int;
   dos_defense : bool;
   query_deadline : float;
+  (* RPC retry policy (Octo_sim.Rpc) *)
+  rpc_attempts : int;
+  rpc_backoff : float;
+  rpc_backoff_mult : float;
+  rpc_backoff_max : float;
+  rpc_jitter : float;
+  rpc_in_flight_cap : int;
+  (* random-walk timeouts and restart budget *)
+  walk_step_timeout_base : float;
+  walk_step_timeout_per_hop : float;
+  walk_phase2_timeout_base : float;
+  walk_phase2_timeout_per_hop : float;
+  walk_establish_timeout : float;
+  walk_max_attempts : int;
+  (* DoS-defense timing *)
+  receipt_wait : float;
+  witness_timeout_slack : float;
+  exit_min_timeout : float;
+  (* surveillance / finger checks *)
+  finger_check_max_delay : float;
+  identification_grace : float;
+  surveillance_retest_delay : float;
+  (* lookup machinery *)
+  dummy_fire_window : float;
+  (* maintenance cadence *)
+  gc_every : float;
+  gc_horizon : float;
+  metrics_sample_every : float;
+  churn_rejoin_delay : float;
+  timeout_strike_window : float;
+  timeout_strikes : int;
+  (* CA investigation timing *)
+  ca_recheck_delay : float;
+  ca_evidence_delay : float;
+  ca_dos_slack : float;
+  ca_proof_gap_slack : float;
+  ca_intro_max_age : float;
+  ca_finger_max_age : float;
+  ca_evidence_max_age : float;
+  (* adversary model *)
+  adversary_backdate : float;
+  finger_revet_prob : float;
 }
 
 let default =
@@ -47,6 +89,40 @@ let default =
     max_chain_depth = 10;
     dos_defense = false;
     query_deadline = 3.0;
+    rpc_attempts = 1;
+    rpc_backoff = 0.5;
+    rpc_backoff_mult = 2.0;
+    rpc_backoff_max = 8.0;
+    rpc_jitter = 0.1;
+    rpc_in_flight_cap = 0;
+    walk_step_timeout_base = 1.0;
+    walk_step_timeout_per_hop = 0.5;
+    walk_phase2_timeout_base = 2.0;
+    walk_phase2_timeout_per_hop = 1.0;
+    walk_establish_timeout = 3.0;
+    walk_max_attempts = 3;
+    receipt_wait = 2.0;
+    witness_timeout_slack = 1.0;
+    exit_min_timeout = 0.5;
+    finger_check_max_delay = 2.0;
+    identification_grace = 90.0;
+    surveillance_retest_delay = 4.0;
+    dummy_fire_window = 2.0;
+    gc_every = 60.0;
+    gc_horizon = 120.0;
+    metrics_sample_every = 5.0;
+    churn_rejoin_delay = 2.0;
+    timeout_strike_window = 30.0;
+    timeout_strikes = 2;
+    ca_recheck_delay = 8.0;
+    ca_evidence_delay = 7.0;
+    ca_dos_slack = 6.0;
+    ca_proof_gap_slack = 16.0;
+    ca_intro_max_age = 120.0;
+    ca_finger_max_age = 60.0;
+    ca_evidence_max_age = 30.0;
+    adversary_backdate = 15.0;
+    finger_revet_prob = 0.1;
   }
 
 let paper_security = default

@@ -33,6 +33,57 @@ type t = {
   max_chain_depth : int;  (** investigation chain length bound *)
   dos_defense : bool;  (** receipts + witness statements *)
   query_deadline : float;  (** selective-DoS delivery deadline *)
+  rpc_attempts : int;
+      (** attempts per RPC; [1] reproduces the historical
+          single-shot-timeout behaviour exactly *)
+  rpc_backoff : float;  (** base retry backoff, seconds *)
+  rpc_backoff_mult : float;  (** exponential backoff growth *)
+  rpc_backoff_max : float;  (** backoff cap *)
+  rpc_jitter : float;  (** jitter fraction drawn on actual retries *)
+  rpc_in_flight_cap : int;  (** per-destination cap; [0] = unbounded *)
+  walk_step_timeout_base : float;
+      (** phase-1 walk step timeout at hop 0 *)
+  walk_step_timeout_per_hop : float;  (** added per phase-1 hop *)
+  walk_phase2_timeout_base : float;  (** phase-2 fetch timeout base *)
+  walk_phase2_timeout_per_hop : float;  (** added per walk hop *)
+  walk_establish_timeout : float;  (** session-establishment timeout *)
+  walk_max_attempts : int;
+      (** full-walk restarts before the walk is abandoned *)
+  receipt_wait : float;
+      (** exit's grace before asking witnesses about a missing receipt *)
+  witness_timeout_slack : float;  (** extra wait on witness replies *)
+  exit_min_timeout : float;  (** floor on exit-delivery timeouts *)
+  finger_check_max_delay : float;
+      (** random spread before the anonymous consistency re-fetch *)
+  identification_grace : float;
+      (** how long the CA may take to identify a reported node before
+          the reporter counts the report as unresolved *)
+  surveillance_retest_delay : float;
+      (** delay before re-testing a suspicious predecessor list *)
+  dummy_fire_window : float;  (** dummy queries fire within this window *)
+  gc_every : float;  (** per-node garbage-collection period *)
+  gc_horizon : float;  (** age beyond which volatile state is dropped *)
+  metrics_sample_every : float;
+  churn_rejoin_delay : float;  (** downtime before a churned node rejoins *)
+  timeout_strike_window : float;
+      (** successive-timeout window before evicting a routing entry *)
+  timeout_strikes : int;  (** strikes within the window that evict *)
+  ca_recheck_delay : float;
+      (** CA's wait before re-fetching a suspect's neighborhood *)
+  ca_evidence_delay : float;
+      (** CA's wait for witness statements in a DoS investigation *)
+  ca_dos_slack : float;
+      (** slack past [query_deadline] before a DoS report is judged *)
+  ca_proof_gap_slack : float;
+      (** max age gap between consecutive archived proofs *)
+  ca_intro_max_age : float;  (** freshness bound on introduction proofs *)
+  ca_finger_max_age : float;
+      (** freshness bound on finger-report evidence *)
+  ca_evidence_max_age : float;  (** freshness bound on DoS evidence *)
+  adversary_backdate : float;
+      (** how far a colluder backdates a fabricated covering proof *)
+  finger_revet_prob : float;
+      (** probability an unchanged finger is re-vetted anyway *)
 }
 
 val default : t

@@ -1,0 +1,588 @@
+module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Rtable = Octo_chord.Rtable
+module Engine = Octo_sim.Engine
+module Net = Octo_sim.Net
+module Rpc = Octo_sim.Rpc
+module Rng = Octo_sim.Rng
+module Series = Octo_sim.Metrics.Series
+module Trace = Octo_sim.Trace
+module Keys = Octo_crypto.Keys
+module Cert = Octo_crypto.Cert
+
+type relay = Node_state.relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
+type pair = Node_state.pair = { p_first : relay; p_second : relay; p_born : float }
+type back_route = Node_state.back_route = { br_prev : int; br_sid : int; br_at : float }
+
+type node = Node_state.t = {
+  addr : int;
+  mutable peer : Peer.t;
+  mutable rt : Rtable.t;
+  mutable alive : bool;
+  mutable revoked : bool;
+  mutable malicious : bool;
+  mutable keypair : Keys.keypair;
+  mutable cert : Cert.t;
+  mutable proofs : (float * Types.signed_list) list;
+  sessions : (int, bytes) Hashtbl.t;
+  back_routes : (int, back_route) Hashtbl.t;
+  receipts : (int, Types.receipt) Hashtbl.t;
+  statements : (int, Types.witness_statement list) Hashtbl.t;
+  received_cids : (int, float) Hashtbl.t;
+  mutable buffered_tables : Types.signed_table list;
+  mutable pool : pair list;
+  pred_since : (int, int * float) Hashtbl.t;
+  witness_waits : (int, int * int) Hashtbl.t;
+  mutable intro_proofs : (float * Types.signed_list) list;
+  storage : (int, bytes) Hashtbl.t;
+  timeout_strikes : (int, int * float) Hashtbl.t;
+}
+
+type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
+type attack_spec = { kind : attack_kind; rate : float; consistency : float }
+
+let no_attack = { kind = No_attack; rate = 0.0; consistency = 0.5 }
+
+type metrics = {
+  lookups : Series.t;
+  biased : Series.t;
+  ca_msgs : Series.t;
+  mal_frac : Series.t;
+  mutable tests_on_attacker : int;
+  mutable attacker_identified : int;
+  mutable reports : int;
+  mutable convicted_malicious : int;
+  mutable convicted_honest : int;
+  mutable no_conviction : int;
+  mutable walks_abandoned : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : Config.t;
+  net : Types.msg Net.t;
+  space : Id.space;
+  nodes : node array;
+  ca_addr : int;
+  registry : Keys.registry;
+  authority : Cert.authority;
+  rpc : Types.msg Rpc.t;
+  rng : Rng.t;
+  used_ids : (int, unit) Hashtbl.t;
+  mutable attack : attack_spec;
+  mutable next_sid : int;
+  verify_cache : (string, bool) Hashtbl.t;
+  metrics : metrics;
+}
+
+let now t = Engine.now t.engine
+let node t addr = t.nodes.(addr)
+let n_nodes t = Array.length t.nodes
+let space t = t.space
+let engine t = t.engine
+let config t = t.cfg
+
+let fresh_sid t =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  sid
+
+let fresh_id t =
+  let rec gen () =
+    let id = Id.random t.space t.rng in
+    if Hashtbl.mem t.used_ids id then gen ()
+    else begin
+      Hashtbl.add t.used_ids id ();
+      id
+    end
+  in
+  gen ()
+
+let is_active_malicious = Node_state.is_active_malicious
+
+let malicious_fraction t =
+  let active = Array.fold_left (fun acc n -> if is_active_malicious n then acc + 1 else acc) 0 t.nodes in
+  float_of_int active /. float_of_int (Array.length t.nodes)
+
+let is_malicious t addr = t.nodes.(addr).malicious
+
+let alive_honest_addrs t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.alive && not n.malicious then Some n.addr else None)
+
+let random_alive t rng =
+  let n = Array.length t.nodes in
+  let rec pick attempts =
+    if attempts > 50 * n then invalid_arg "random_alive: no alive node"
+    else begin
+      let addr = Rng.int rng n in
+      if t.nodes.(addr).alive then addr else pick (attempts + 1)
+    end
+  in
+  pick 0
+
+let colluders t =
+  Array.to_list t.nodes |> List.filter is_active_malicious
+
+let find_owner t ~key =
+  let best = ref None in
+  Array.iter
+    (fun n ->
+      if n.alive && not n.revoked then begin
+        let d = Id.distance_cw t.space key n.peer.Peer.id in
+        match !best with
+        | None -> best := Some (n.peer, d)
+        | Some (_, bd) -> if d < bd then best := Some (n.peer, d)
+      end)
+    t.nodes;
+  Option.map fst !best
+
+(* -- messaging -------------------------------------------------------- *)
+
+let send t ~src ~dst msg =
+  let size = Types.size msg in
+  if Trace.on () then
+    Trace.emit ~time:(now t) ~node:src (Trace.Msg { kind = Types.kind msg; dst; size });
+  Net.send t.net ~src ~dst ~size msg
+
+let rpc_policy t ?timeout ?attempts () =
+  let cfg = t.cfg in
+  Rpc.policy
+    ~attempts:(Option.value ~default:cfg.Config.rpc_attempts attempts)
+    ~backoff:cfg.Config.rpc_backoff ~backoff_mult:cfg.Config.rpc_backoff_mult
+    ~backoff_max:cfg.Config.rpc_backoff_max ~jitter:cfg.Config.rpc_jitter
+    ~timeout:(Option.value ~default:cfg.Config.rpc_timeout timeout)
+    ()
+
+let rpc t ~src ~dst ?timeout ?attempts ~make ~on_timeout k =
+  let policy = rpc_policy t ?timeout ?attempts () in
+  ignore
+    (Rpc.call t.rpc ~src ~dst ~policy
+       ~send:(fun rid -> send t ~src ~dst (make rid))
+       ~on_give_up:on_timeout k)
+
+let resolve t rid msg = Rpc.resolve t.rpc rid msg
+let rpc_caller t rid = Rpc.caller t.rpc rid
+let after t ~delay f = ignore (Rpc.after t.rpc ~delay f)
+
+(* -- signing -------------------------------------------------------- *)
+
+let sign_list t node kind peers =
+  let sl =
+    {
+      Types.l_owner = node.peer;
+      l_kind = kind;
+      l_peers = peers;
+      l_time = now t;
+      l_sig = Keys.forge;
+      l_cert = node.cert;
+      l_memo = None;
+    }
+  in
+  { sl with Types.l_sig = Keys.sign node.keypair.Keys.secret (Types.list_digest sl) }
+
+let sign_table t node ~fingers ~succs =
+  let st =
+    {
+      Types.t_owner = node.peer;
+      t_fingers = fingers;
+      t_succs = succs;
+      t_time = now t;
+      t_sig = Keys.forge;
+      t_cert = node.cert;
+      t_memo = None;
+    }
+  in
+  { st with Types.t_sig = Keys.sign node.keypair.Keys.secret (Types.table_digest st) }
+
+let honest_list t node kind =
+  let peers =
+    match kind with
+    | Types.Succ_list -> Rtable.succs node.rt
+    | Types.Pred_list -> Rtable.preds node.rt
+  in
+  sign_list t node kind peers
+
+let honest_table t node =
+  sign_table t node
+    ~fingers:(List.init (Rtable.num_fingers node.rt) (Rtable.finger node.rt))
+    ~succs:(Rtable.succs node.rt)
+
+(* -- verification --------------------------------------------------- *)
+
+let cert_matches (cert : Cert.t) (peer : Peer.t) =
+  cert.Cert.node_id = peer.Peer.id && cert.Cert.addr = peer.Peer.addr
+
+let sorted_cw space ~from peers =
+  let rec ok prev = function
+    | [] -> true
+    | p :: rest ->
+      let d = Id.distance_cw space from p.Peer.id in
+      d > prev && ok d rest
+  in
+  ok 0 peers
+
+(* Verification caching: a signed structure is re-verified at many sites
+   (maintenance, walks, lookups, finger checks, surveillance, the CA), so
+   the time-independent part of the check — ordering, cert binding,
+   cert validity at signing time, and the signature itself — is cached.
+   The key binds the full content digest, the signature, and the exact
+   certificate (its CA tag), so pairing a valid signature with altered
+   content can never hit a cached [true]. Caller-dependent checks
+   (expected owner, freshness, current revocation) stay outside the
+   cache. The cache is flushed on every revocation and bounded. *)
+let verify_cache_cap = 8192
+
+let cached_verdict t key compute =
+  match Hashtbl.find_opt t.verify_cache key with
+  | Some ok -> ok
+  | None ->
+    let ok = compute () in
+    if Hashtbl.length t.verify_cache >= verify_cache_cap then Hashtbl.reset t.verify_cache;
+    Hashtbl.replace t.verify_cache key ok;
+    ok
+
+let cache_key tag digest (signature : Keys.signature) (cert : Cert.t) =
+  let sg = Keys.signature_bytes signature in
+  let ct = Keys.signature_bytes cert.Cert.tag in
+  let b = Buffer.create (1 + Bytes.length digest + Bytes.length sg + Bytes.length ct) in
+  Buffer.add_string b tag;
+  Buffer.add_bytes b digest;
+  Buffer.add_bytes b sg;
+  Buffer.add_bytes b ct;
+  Buffer.contents b
+
+let verify_list t ?expect_owner ?max_age ?(revoked_ok = false) sl =
+  let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
+  let owner_ok =
+    match expect_owner with Some o -> Peer.equal o sl.Types.l_owner | None -> true
+  in
+  owner_ok
+  && now t -. sl.Types.l_time <= max_age
+  && sl.Types.l_time <= now t +. 0.001
+  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:sl.Types.l_owner.Peer.id))
+  &&
+  let digest = Types.list_digest sl in
+  cached_verdict t
+    (cache_key "L" digest sl.Types.l_sig sl.Types.l_cert)
+    (fun () ->
+      let order_ok =
+        match sl.Types.l_kind with
+        | Types.Succ_list -> sorted_cw t.space ~from:sl.Types.l_owner.Peer.id sl.Types.l_peers
+        | Types.Pred_list ->
+          sorted_cw t.space ~from:sl.Types.l_owner.Peer.id (List.rev sl.Types.l_peers)
+      in
+      order_ok
+      && cert_matches sl.Types.l_cert sl.Types.l_owner
+      && Cert.verify t.authority ~now:sl.Types.l_time sl.Types.l_cert
+      && Keys.verify t.registry sl.Types.l_cert.Cert.public digest sl.Types.l_sig)
+
+let verify_table t ?expect_owner ?max_age ?(revoked_ok = false) st =
+  let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
+  let owner_ok =
+    match expect_owner with Some o -> Peer.equal o st.Types.t_owner | None -> true
+  in
+  owner_ok
+  && now t -. st.Types.t_time <= max_age
+  && st.Types.t_time <= now t +. 0.001
+  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:st.Types.t_owner.Peer.id))
+  &&
+  let digest = Types.table_digest st in
+  cached_verdict t
+    (cache_key "T" digest st.Types.t_sig st.Types.t_cert)
+    (fun () ->
+      sorted_cw t.space ~from:st.Types.t_owner.Peer.id st.Types.t_succs
+      && cert_matches st.Types.t_cert st.Types.t_owner
+      && Cert.verify t.authority ~now:st.Types.t_time st.Types.t_cert
+      && Keys.verify t.registry st.Types.t_cert.Cert.public digest st.Types.t_sig)
+
+let sanitize_table t node (st : Types.signed_table) =
+  let gap = Octo_chord.Bounds.estimated_gap node.rt in
+  let tolerance = t.cfg.Config.bound_tolerance in
+  let space = t.space in
+  let bound = tolerance *. gap in
+  let own = st.Types.t_owner.Peer.id in
+  let num_fingers = List.length st.Types.t_fingers in
+  let fingers =
+    List.mapi
+      (fun i f ->
+        match f with
+        | Some peer ->
+          let ideal = Id.ideal_finger space own ~num_fingers i in
+          if float_of_int (Id.distance_cw space ideal peer.Peer.id) <= bound then Some peer
+          else None
+        | None -> None)
+      st.Types.t_fingers
+  in
+  (* Successor lists are left intact: there is no ideal position to bound
+     them against — the paper is explicit that bound checking is only a
+     moderate defense and that successor-list manipulation is countered by
+     secret neighbor surveillance, not locally. *)
+  { st with Types.t_fingers = fingers; t_memo = None }
+
+let sign_receipt t node ~cid =
+  let time = now t in
+  {
+    Types.rc_cid = cid;
+    rc_signer = node.peer;
+    rc_time = time;
+    rc_sig =
+      Keys.sign node.keypair.Keys.secret
+        (Types.receipt_digest ~cid ~signer:node.peer ~time);
+  }
+
+let verify_receipt t (r : Types.receipt) =
+  let n = t.nodes.(r.Types.rc_signer.Peer.addr) in
+  Peer.equal n.peer r.Types.rc_signer
+  && Keys.verify t.registry n.cert.Cert.public
+       (Types.receipt_digest ~cid:r.Types.rc_cid ~signer:r.Types.rc_signer ~time:r.Types.rc_time)
+       r.Types.rc_sig
+
+let sign_statement t node ~target ~cid =
+  let time = now t in
+  {
+    Types.ws_witness = node.peer;
+    ws_target = target;
+    ws_cid = cid;
+    ws_time = time;
+    ws_sig =
+      Keys.sign node.keypair.Keys.secret
+        (Types.statement_digest ~witness:node.peer ~target ~cid ~time);
+  }
+
+let verify_statement t (s : Types.witness_statement) =
+  let n = t.nodes.(s.Types.ws_witness.Peer.addr) in
+  Peer.equal n.peer s.Types.ws_witness
+  && Keys.verify t.registry n.cert.Cert.public
+       (Types.statement_digest ~witness:s.Types.ws_witness ~target:s.Types.ws_target
+          ~cid:s.Types.ws_cid ~time:s.Types.ws_time)
+       s.Types.ws_sig
+
+(* -- node state helpers (config-applying wrappers) ------------------- *)
+
+let push_intro t node sl =
+  Node_state.push_intro node ~now:(now t) ~cap:(2 * t.cfg.Config.proof_queue_len) sl
+
+let push_proof t node sl =
+  Node_state.push_proof node ~now:(now t) ~queue_len:t.cfg.Config.proof_queue_len sl
+
+let buffer_table _t node st = Node_state.buffer_table node st
+let update_preds t node peers = Node_state.update_preds node ~now:(now t) peers
+
+let note_timeout t node addr =
+  Node_state.note_timeout node ~now:(now t) ~window:t.cfg.Config.timeout_strike_window
+    ~strikes:t.cfg.Config.timeout_strikes addr
+
+let pred_known_since = Node_state.pred_known_since
+
+(* -- membership ------------------------------------------------------ *)
+
+let issue_cert t ~node_id ~addr ~public =
+  Cert.issue t.authority ~node_id ~addr ~public ~now:(now t)
+    ~expires:(now t +. t.cfg.Config.cert_lifetime)
+
+let kill t addr =
+  let n = t.nodes.(addr) in
+  n.alive <- false;
+  Net.set_alive t.net addr false
+
+let revive t addr =
+  let n = t.nodes.(addr) in
+  let id = fresh_id t in
+  let peer = Peer.make ~id ~addr in
+  n.peer <- peer;
+  n.rt <-
+    Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.Config.num_fingers
+      ~list_size:t.cfg.Config.list_size;
+  n.keypair <- Keys.generate t.registry t.rng;
+  n.cert <- issue_cert t ~node_id:id ~addr ~public:n.keypair.Keys.public;
+  n.alive <- true;
+  Node_state.reset_volatile n;
+  Net.set_alive t.net addr true
+
+let revoke t addr =
+  let n = t.nodes.(addr) in
+  if not n.revoked then begin
+    n.revoked <- true;
+    if Trace.on () then
+      Trace.emit ~time:(now t) ~node:addr (Trace.Revoked { addr; id = n.peer.Peer.id });
+    Cert.revoke t.authority ~now:(now t) ~node_id:n.peer.Peer.id;
+    (* Revocation changes what verifies; drop every cached verdict. *)
+    Hashtbl.reset t.verify_cache;
+    kill t addr;
+    (* CRL distribution: honest nodes purge the ejected identity. *)
+    Array.iter (fun other -> if other.addr <> addr then Rtable.remove other.rt ~addr) t.nodes
+  end
+
+let sample_metrics t = Series.set t.metrics.mal_frac ~time:(now t) (malicious_fraction t)
+
+(* -- experiment-facing accessors ------------------------------------- *)
+
+let set_attack t spec = t.attack <- spec
+
+let set_processing_delay t addr f = Net.set_processing_delay t.net addr f
+
+let clear_pools t = Array.iter (fun n -> n.pool <- []) t.nodes
+
+let honest_pool_relay_addrs t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun n ->
+         if n.malicious then []
+         else
+           List.concat_map
+             (fun p -> [ p.p_first.r_peer.Peer.addr; p.p_second.r_peer.Peer.addr ])
+             n.pool)
+
+type metrics_snapshot = {
+  ms_reports : int;
+  ms_convicted_honest : int;
+  ms_convicted_malicious : int;
+  ms_no_conviction : int;
+  ms_tests_on_attacker : int;
+  ms_attacker_identified : int;
+  ms_walks_abandoned : int;
+  ms_mal_frac : (float * float) list;
+  ms_lookups_cum : (float * float) list;
+  ms_biased_cum : (float * float) list;
+  ms_ca_msgs_cum : (float * float) list;
+}
+
+let metrics_snapshot t =
+  let m = t.metrics in
+  {
+    ms_reports = m.reports;
+    ms_convicted_honest = m.convicted_honest;
+    ms_convicted_malicious = m.convicted_malicious;
+    ms_no_conviction = m.no_conviction;
+    ms_tests_on_attacker = m.tests_on_attacker;
+    ms_attacker_identified = m.attacker_identified;
+    ms_walks_abandoned = m.walks_abandoned;
+    ms_mal_frac = Series.rows m.mal_frac;
+    ms_lookups_cum = Series.cumulative m.lookups;
+    ms_biased_cum = Series.cumulative m.biased;
+    ms_ca_msgs_cum = Series.cumulative m.ca_msgs;
+  }
+
+(* -- creation --------------------------------------------------------- *)
+
+let make_node t ~addr ~malicious =
+  let id = fresh_id t in
+  let peer = Peer.make ~id ~addr in
+  let keypair = Keys.generate t.registry t.rng in
+  Node_state.make ~addr ~peer
+    ~rt:
+      (Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.Config.num_fingers
+         ~list_size:t.cfg.Config.list_size)
+    ~malicious ~keypair
+    ~cert:(issue_cert t ~node_id:id ~addr ~public:keypair.Keys.public)
+
+let bootstrap_topology t =
+  let n = Array.length t.nodes in
+  let sorted = Array.map (fun node -> node.peer) t.nodes in
+  Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
+  let successor_of_key key =
+    let lo = ref 0 and hi = ref (n - 1) and res = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid).Peer.id >= key then begin
+        res := Some mid;
+        hi := mid - 1
+      end
+      else lo := mid + 1
+    done;
+    match !res with Some i -> sorted.(i) | None -> sorted.(0)
+  in
+  Array.iter
+    (fun node ->
+      let my_index = Hashtbl.find index_of node.peer.Peer.id in
+      let k = t.cfg.Config.list_size in
+      Rtable.set_succs node.rt (List.init k (fun j -> sorted.((my_index + j + 1) mod n)));
+      update_preds t node (List.init k (fun j -> sorted.((my_index - j - 1 + n) mod n)));
+      for i = 0 to t.cfg.Config.num_fingers - 1 do
+        let ideal =
+          Id.ideal_finger t.space node.peer.Peer.id ~num_fingers:t.cfg.Config.num_fingers i
+        in
+        Rtable.set_finger node.rt i (Some (successor_of_key ideal))
+      done)
+    t.nodes
+
+(* Provision each node's initial relay-pair pool from global knowledge, as
+   if the warm-up random walks had already run: pair members are uniform
+   random nodes (what an unbiased walk yields at time 0), with established
+   session keys. Subsequent pool refills go through real random walks. *)
+let bootstrap_pools t =
+  let n = Array.length t.nodes in
+  Array.iter
+    (fun node ->
+      let mk_relay () =
+        let rec pick () =
+          let other = t.nodes.(Rng.int t.rng n) in
+          if other.addr = node.addr then pick () else other
+        in
+        let other = pick () in
+        let sid = fresh_sid t in
+        let key = Octo_crypto.Onion.gen_key t.rng in
+        Hashtbl.replace other.sessions sid key;
+        { r_peer = other.peer; r_sid = sid; r_key = key }
+      in
+      node.pool <-
+        List.init t.cfg.Config.pool_target (fun _ ->
+            { p_first = mk_relay (); p_second = mk_relay (); p_born = 0.0 }))
+    t.nodes
+
+let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket = 20.0) engine
+    latency ~n =
+  assert (n + 1 <= Octo_sim.Latency.n latency);
+  let rng = Rng.split (Engine.rng engine) in
+  let registry = Keys.create_registry () in
+  let metrics =
+    {
+      lookups = Series.create ~bucket:metrics_bucket;
+      biased = Series.create ~bucket:metrics_bucket;
+      ca_msgs = Series.create ~bucket:metrics_bucket;
+      mal_frac = Series.create ~bucket:metrics_bucket;
+      tests_on_attacker = 0;
+      attacker_identified = 0;
+      reports = 0;
+      convicted_malicious = 0;
+      convicted_honest = 0;
+      no_conviction = 0;
+      walks_abandoned = 0;
+    }
+  in
+  let t =
+    {
+      engine;
+      cfg;
+      net = Net.create engine latency;
+      space = Id.space ~bits:cfg.Config.bits;
+      nodes = [||];
+      ca_addr = n;
+      registry;
+      authority = Cert.create_authority registry rng;
+      (* [rng] is passed by reference, not split: jitter is only drawn on
+         actual retries, so default single-attempt configurations leave
+         the deterministic stream byte-identical to the pre-Rpc runtime. *)
+      rpc = Rpc.create engine ~rng ~in_flight_cap:cfg.Config.rpc_in_flight_cap ();
+      rng;
+      used_ids = Hashtbl.create (2 * n);
+      attack = no_attack;
+      next_sid = 0;
+      verify_cache = Hashtbl.create 1024;
+      metrics;
+    }
+  in
+  (* Choose which slots are malicious uniformly. *)
+  let flags = Array.make n false in
+  let num_mal = int_of_float (Float.round (fraction_malicious *. float_of_int n)) in
+  let perm = Rng.permutation rng n in
+  for i = 0 to num_mal - 1 do
+    flags.(perm.(i)) <- true
+  done;
+  let nodes = Array.init n (fun addr -> make_node t ~addr ~malicious:flags.(addr)) in
+  let t = { t with nodes } in
+  bootstrap_topology t;
+  bootstrap_pools t;
+  t

@@ -1,0 +1,259 @@
+(** The simulated Octopus deployment: population, CA authority, network,
+    RPC substrate, verification cache, and metrics.
+
+    Per-node protocol state lives in {!Node_state}; behaviour lives in
+    the protocol modules ({!Serve}, {!Query}, {!Walk}, {!Olookup},
+    {!Surveillance}, {!Finger_check}, {!Ca}, {!Maintain}). {!World}
+    re-exports this module (plus the {!Node_state} records) as a thin
+    facade, so protocol code addresses both through one name. *)
+
+module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Rtable = Octo_chord.Rtable
+
+(** A relay leg the initiator shares a session key with. *)
+type relay = Node_state.relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
+
+(** An anonymization relay pair — the last two hops of a random walk. *)
+type pair = Node_state.pair = { p_first : relay; p_second : relay; p_born : float }
+
+type back_route = Node_state.back_route = { br_prev : int; br_sid : int; br_at : float }
+
+type node = Node_state.t = {
+  addr : int;
+  mutable peer : Peer.t;
+  mutable rt : Rtable.t;
+  mutable alive : bool;
+  mutable revoked : bool;
+  mutable malicious : bool;
+  mutable keypair : Octo_crypto.Keys.keypair;
+  mutable cert : Octo_crypto.Cert.t;
+  mutable proofs : (float * Types.signed_list) list;
+  sessions : (int, bytes) Hashtbl.t;
+  back_routes : (int, back_route) Hashtbl.t;
+  receipts : (int, Types.receipt) Hashtbl.t;
+  statements : (int, Types.witness_statement list) Hashtbl.t;
+  received_cids : (int, float) Hashtbl.t;
+  mutable buffered_tables : Types.signed_table list;
+  mutable pool : pair list;
+  pred_since : (int, int * float) Hashtbl.t;
+  witness_waits : (int, int * int) Hashtbl.t;
+  mutable intro_proofs : (float * Types.signed_list) list;
+  storage : (int, bytes) Hashtbl.t;
+  timeout_strikes : (int, int * float) Hashtbl.t;
+}
+(** Re-export of {!Node_state.t}; see that module for field docs. *)
+
+type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
+
+type attack_spec = { kind : attack_kind; rate : float; consistency : float }
+(** [rate]: probability a malicious node attacks a given opportunity;
+    [consistency]: probability a checked colluding predecessor covers for a
+    manipulated finger (Table 2 uses 50%). *)
+
+val no_attack : attack_spec
+
+type metrics = {
+  lookups : Octo_sim.Metrics.Series.t;
+  biased : Octo_sim.Metrics.Series.t;
+  ca_msgs : Octo_sim.Metrics.Series.t;
+  mal_frac : Octo_sim.Metrics.Series.t;
+  mutable tests_on_attacker : int;
+  mutable attacker_identified : int;
+  mutable reports : int;
+  mutable convicted_malicious : int;
+  mutable convicted_honest : int;
+  mutable no_conviction : int;
+  mutable walks_abandoned : int;
+}
+
+type t = {
+  engine : Octo_sim.Engine.t;
+  cfg : Config.t;
+  net : Types.msg Octo_sim.Net.t;
+  space : Id.space;
+  nodes : node array;
+  ca_addr : int;
+  registry : Octo_crypto.Keys.registry;
+  authority : Octo_crypto.Cert.authority;
+  rpc : Types.msg Octo_sim.Rpc.t;
+      (** shared request/response substrate: ids, deadlines, retries,
+          backpressure; also the anonymous-query wait table (a query's
+          cid {e is} its rid) *)
+  rng : Octo_sim.Rng.t;
+  used_ids : (int, unit) Hashtbl.t;
+  mutable attack : attack_spec;
+  mutable next_sid : int;
+  verify_cache : (string, bool) Hashtbl.t;
+      (** cached time-independent verification verdicts, keyed by
+          (digest, signature, cert tag); bounded, flushed on revocation *)
+  metrics : metrics;
+}
+
+val create :
+  ?cfg:Config.t ->
+  ?fraction_malicious:float ->
+  ?metrics_bucket:float ->
+  Octo_sim.Engine.t ->
+  Octo_sim.Latency.t ->
+  n:int ->
+  t
+(** Build a bootstrapped network of [n] nodes (addresses [0..n-1]; the CA
+    listens on address [n], so the latency space must have [n+1] slots).
+    Topology, certificates, and an initial relay-pair pool are provisioned
+    from global knowledge, as for the Chord bootstrap. No handlers are
+    installed — call {!Serve.install} and {!Ca.create}. *)
+
+val now : t -> float
+val node : t -> int -> node
+val n_nodes : t -> int
+val space : t -> Id.space
+val engine : t -> Octo_sim.Engine.t
+val config : t -> Config.t
+val fresh_sid : t -> int
+val fresh_id : t -> int
+
+val is_active_malicious : node -> bool
+(** Malicious, alive, and not yet revoked. *)
+
+val malicious_fraction : t -> float
+val is_malicious : t -> int -> bool
+val alive_honest_addrs : t -> int list
+val random_alive : t -> Octo_sim.Rng.t -> int
+val colluders : t -> node list
+(** Active malicious nodes. *)
+
+val find_owner : t -> key:int -> Peer.t option
+(** Ground truth among alive, unrevoked nodes. *)
+
+val send : t -> src:int -> dst:int -> Types.msg -> unit
+
+val rpc_policy : t -> ?timeout:float -> ?attempts:int -> unit -> Octo_sim.Rpc.policy
+(** The configured retry policy ([rpc_backoff]/[_mult]/[_max]/[_jitter]),
+    with [timeout] defaulting to [cfg.rpc_timeout] and [attempts] to
+    [cfg.rpc_attempts]. *)
+
+val rpc :
+  t ->
+  src:int ->
+  dst:int ->
+  ?timeout:float ->
+  ?attempts:int ->
+  make:(int -> Types.msg) ->
+  on_timeout:(unit -> unit) ->
+  (Types.msg -> unit) ->
+  unit
+(** Fire a request through {!Octo_sim.Rpc} under {!rpc_policy}.
+    [on_timeout] fires once, when the whole call gives up (after all
+    attempts); with the default single-attempt policy that is exactly
+    the historical first-timeout behaviour. *)
+
+val resolve : t -> int -> Types.msg -> bool
+(** Route a response to the outstanding call with this rid. *)
+
+val rpc_caller : t -> int -> int option
+(** Source address of the live call with this rid, if any. *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+(** One-shot timer; the only scheduling primitive protocol modules use
+    besides {!rpc} itself. *)
+
+(* -- signing and verification ------------------------------------- *)
+
+val sign_list : t -> node -> Types.list_kind -> Peer.t list -> Types.signed_list
+val sign_table : t -> node -> fingers:Peer.t option list -> succs:Peer.t list -> Types.signed_table
+
+val honest_list : t -> node -> Types.list_kind -> Types.signed_list
+(** The node's true successor/predecessor list, signed now. *)
+
+val honest_table : t -> node -> Types.signed_table
+
+val verify_list :
+  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_list -> bool
+(** Signature, certificate, freshness, owner match, clockwise ordering.
+    By default a structure from a *currently revoked* identity fails, even
+    if it was signed before the revocation — routing must never act on a
+    revoked node's state, and cached verdicts must not outlive ejection.
+    The CA passes [~revoked_ok:true] when weighing historical evidence
+    (justification chains legitimately verify documents whose signer has
+    since been ejected). The expensive time-independent part of the check
+    is cached; see {!t.verify_cache}. *)
+
+val verify_table :
+  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_table -> bool
+
+val sanitize_table : t -> node -> Types.signed_table -> Types.signed_table
+(** NISAN-style bound filtering (§4.1): drop fingers implausibly far past
+    their ideal positions, judged against the density estimated from the
+    node's own neighborhood. Successor lists are kept whole (they have no
+    ideal positions; their manipulation is countered by secret neighbor
+    surveillance). The result is for local routing decisions only (its
+    signature no longer covers it). *)
+
+val sign_receipt : t -> node -> cid:int -> Types.receipt
+val verify_receipt : t -> Types.receipt -> bool
+val sign_statement : t -> node -> target:Peer.t -> cid:int -> Types.witness_statement
+val verify_statement : t -> Types.witness_statement -> bool
+
+(* -- node state helpers (config-applying wrappers) ------------------ *)
+
+val push_proof : t -> node -> Types.signed_list -> unit
+val push_intro : t -> node -> Types.signed_list -> unit
+val buffer_table : t -> node -> Types.signed_table -> unit
+val update_preds : t -> node -> Peer.t list -> unit
+(** [Rtable.set_preds] plus arrival-time tracking for the surveillance
+    freshness rule. *)
+
+val note_timeout : t -> node -> int -> bool
+(** Record an RPC give-up against a peer; [true] when it should now be
+    evicted ([cfg.timeout_strikes] within [cfg.timeout_strike_window] —
+    one slow round trip never drops a live neighbor). *)
+
+val pred_known_since : node -> Peer.t -> float option
+(** When this exact identity entered the predecessor list, if current. *)
+
+(* -- membership events --------------------------------------------- *)
+
+val kill : t -> int -> unit
+val revive : t -> int -> unit
+(** Rejoin with a fresh identity and certificate; routing state empty. *)
+
+val revoke : t -> int -> unit
+(** Certificate revocation: the node is ejected and purged from every
+    honest routing table (modelling CRL distribution). *)
+
+val sample_metrics : t -> unit
+(** Record the current malicious fraction into the time series. *)
+
+(* -- experiment-facing accessors ----------------------------------- *)
+
+val set_attack : t -> attack_spec -> unit
+
+val set_processing_delay : t -> int -> (Octo_sim.Rng.t -> float) option -> unit
+(** Per-node handler delay (straggler modelling); see
+    {!Octo_sim.Net.set_processing_delay}. *)
+
+val clear_pools : t -> unit
+(** Empty every node's relay-pair pool (ablation setup). *)
+
+val honest_pool_relay_addrs : t -> int list
+(** Every relay address currently appearing in an honest node's pool,
+    with multiplicity. *)
+
+type metrics_snapshot = {
+  ms_reports : int;
+  ms_convicted_honest : int;
+  ms_convicted_malicious : int;
+  ms_no_conviction : int;
+  ms_tests_on_attacker : int;
+  ms_attacker_identified : int;
+  ms_walks_abandoned : int;
+  ms_mal_frac : (float * float) list;  (** bucketed rows *)
+  ms_lookups_cum : (float * float) list;  (** cumulative rows *)
+  ms_biased_cum : (float * float) list;
+  ms_ca_msgs_cum : (float * float) list;
+}
+
+val metrics_snapshot : t -> metrics_snapshot
+(** A plain-data copy of the counters and series, so experiments never
+    reach into the live record. *)

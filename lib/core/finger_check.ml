@@ -34,9 +34,8 @@ let consistency_check w (node : World.node) ~ideal ~finger k =
           else begin
             (* Step 2: after a short random delay, anonymously fetch P'1's
                successor list. *)
-            let delay = Rng.float w.World.rng 2.0 in
-            ignore
-              (Engine.schedule w.World.engine ~delay (fun () ->
+            let delay = Rng.float w.World.rng w.World.cfg.Config.finger_check_max_delay in
+            World.after w ~delay (fun () ->
                    if not node.World.alive then k `Unknown
                    else begin
                      match Query.pick_pairs w node ~n:2 with
@@ -56,7 +55,7 @@ let consistency_check w (node : World.node) ~ideal ~finger k =
                              else k `Clean
                            | Some _ | None -> k `Unknown)
                      | _ -> k `Unknown
-                   end))
+                   end)
           end)
       | _ -> k `Unknown)
 
@@ -75,11 +74,10 @@ let is_manipulated w ~ideal ~finger =
 
 let watch_identification w (finger : Peer.t) =
   let fnode = World.node w finger.Peer.addr in
-  ignore
-    (Engine.schedule w.World.engine ~delay:90.0 (fun () ->
-         if fnode.World.revoked then
-           w.World.metrics.World.attacker_identified <-
-             w.World.metrics.World.attacker_identified + 1))
+  World.after w ~delay:w.World.cfg.Config.identification_grace (fun () ->
+      if fnode.World.revoked then
+        w.World.metrics.World.attacker_identified <-
+          w.World.metrics.World.attacker_identified + 1)
 
 let counted_attack w =
   match w.World.attack.World.kind with
@@ -140,7 +138,7 @@ let vet_finger_update w (node : World.node) ~index ~candidate ~evidence_table k 
   in
   (* Steady state is cheap: an unchanged finger is re-vetted only
      occasionally; a changed candidate is always vetted. *)
-  if unchanged && not (Rng.coin w.World.rng 0.1) then k true
+  if unchanged && not (Rng.coin w.World.rng w.World.cfg.Config.finger_revet_prob) then k true
   else begin
     consistency_check w node ~ideal ~finger:candidate (fun outcome ->
         if outcome <> `Unknown && counted_attack w && is_manipulated w ~ideal ~finger:candidate

@@ -153,7 +153,7 @@ let do_lookup w (node : World.node) =
 (* State garbage collection *)
 
 let gc w (node : World.node) =
-  let horizon = World.now w -. 120.0 in
+  let horizon = World.now w -. w.World.cfg.Config.gc_horizon in
   let prune_old table keep =
     let stale = Hashtbl.fold (fun k v acc -> if keep v then acc else k :: acc) table [] in
     List.iter (Hashtbl.remove table) stale
@@ -210,7 +210,8 @@ let start ?(opts = default_opts) w =
              if active node && not node.World.malicious then do_lookup w node;
              true));
     ignore
-      (Engine.every engine ~phase:(phase 60.0) ~period:60.0 (fun () ->
+      (Engine.every engine ~phase:(phase cfg.Config.gc_every) ~period:cfg.Config.gc_every
+         (fun () ->
            if active node then gc w node;
            true))
   done;
@@ -218,7 +219,7 @@ let start ?(opts = default_opts) w =
   | Some mean ->
     let churn_rng = Rng.split w.World.rng in
     ignore
-      (Octo_sim.Churn.start engine churn_rng ~mean_lifetime:mean ~rejoin_delay:2.0
+      (Octo_sim.Churn.start engine churn_rng ~mean_lifetime:mean ~rejoin_delay:cfg.Config.churn_rejoin_delay
          ~addrs:(List.init n (fun i -> i))
          ~on_leave:(fun addr ->
            let node = World.node w addr in
@@ -234,6 +235,7 @@ let start ?(opts = default_opts) w =
   (* Metric sampling for the remaining-malicious-fraction series. *)
   World.sample_metrics w;
   ignore
-    (Engine.every engine ~phase:5.0 ~period:5.0 (fun () ->
+    (Engine.every engine ~phase:cfg.Config.metrics_sample_every
+       ~period:cfg.Config.metrics_sample_every (fun () ->
          World.sample_metrics w;
          true))

@@ -1,0 +1,152 @@
+module Peer = Octo_chord.Peer
+module Rtable = Octo_chord.Rtable
+module Keys = Octo_crypto.Keys
+module Cert = Octo_crypto.Cert
+
+type relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
+type pair = { p_first : relay; p_second : relay; p_born : float }
+type back_route = { br_prev : int; br_sid : int; br_at : float }
+
+type t = {
+  addr : int;
+  mutable peer : Peer.t;
+  mutable rt : Rtable.t;
+  mutable alive : bool;
+  mutable revoked : bool;
+  mutable malicious : bool;
+  mutable keypair : Keys.keypair;
+  mutable cert : Cert.t;
+  mutable proofs : (float * Types.signed_list) list;
+  sessions : (int, bytes) Hashtbl.t;
+  back_routes : (int, back_route) Hashtbl.t;
+  receipts : (int, Types.receipt) Hashtbl.t;
+  statements : (int, Types.witness_statement list) Hashtbl.t;
+  received_cids : (int, float) Hashtbl.t;
+  mutable buffered_tables : Types.signed_table list;
+  mutable pool : pair list;
+  pred_since : (int, int * float) Hashtbl.t;
+  witness_waits : (int, int * int) Hashtbl.t;
+  mutable intro_proofs : (float * Types.signed_list) list;
+  storage : (int, bytes) Hashtbl.t;
+  timeout_strikes : (int, int * float) Hashtbl.t;
+}
+
+let make ~addr ~peer ~rt ~malicious ~keypair ~cert =
+  {
+    addr;
+    peer;
+    rt;
+    alive = true;
+    revoked = false;
+    malicious;
+    keypair;
+    cert;
+    proofs = [];
+    sessions = Hashtbl.create 8;
+    back_routes = Hashtbl.create 8;
+    receipts = Hashtbl.create 8;
+    statements = Hashtbl.create 4;
+    received_cids = Hashtbl.create 8;
+    buffered_tables = [];
+    pool = [];
+    pred_since = Hashtbl.create 8;
+    witness_waits = Hashtbl.create 4;
+    intro_proofs = [];
+    storage = Hashtbl.create 8;
+    timeout_strikes = Hashtbl.create 4;
+  }
+
+let is_active_malicious node = node.malicious && node.alive && not node.revoked
+
+let truncate k lst =
+  let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r in
+  take k lst
+
+let push_intro node ~now ~cap sl =
+  (* One retained introduction per owner: newest wins. *)
+  let others =
+    List.filter
+      (fun ((_, p) : float * Types.signed_list) ->
+        not (Peer.equal p.Types.l_owner sl.Types.l_owner))
+      node.intro_proofs
+  in
+  node.intro_proofs <- truncate cap ((now, sl) :: others)
+
+let push_proof node ~now ~queue_len sl =
+  let updated = (now, sl) :: node.proofs in
+  let kept = truncate queue_len updated in
+  (* Archive the last document from a former head: it is the provenance of
+     whatever it introduced (CA justification chains need it after the
+     rolling window has moved on). *)
+  let evicted = List.filteri (fun i _ -> i >= queue_len) updated in
+  List.iter
+    (fun (at, (e : Types.signed_list)) ->
+      let covered_in_window =
+        List.exists
+          (fun ((_, p) : float * Types.signed_list) -> Peer.equal p.Types.l_owner e.Types.l_owner)
+          kept
+      in
+      if not covered_in_window then begin
+        (* Keep the newest archived document per former head. *)
+        let others =
+          List.filter
+            (fun ((_, p) : float * Types.signed_list) ->
+              not (Peer.equal p.Types.l_owner e.Types.l_owner))
+            node.intro_proofs
+        in
+        node.intro_proofs <- truncate (2 * queue_len) ((at, e) :: others)
+      end)
+    evicted;
+  node.proofs <- kept
+
+let buffer_table node st = node.buffered_tables <- truncate 16 (st :: node.buffered_tables)
+
+let update_preds node ~now peers =
+  Rtable.set_preds node.rt peers;
+  List.iter
+    (fun p ->
+      (* Track (identity, arrival): an address that rejoined with a fresh
+         id restarts its clock, so surveillance never treats the new
+         identity as long-known. *)
+      match Hashtbl.find_opt node.pred_since p.Peer.addr with
+      | Some (id, _) when id = p.Peer.id -> ()
+      | Some _ | None -> Hashtbl.replace node.pred_since p.Peer.addr (p.Peer.id, now))
+    (Rtable.preds node.rt);
+  (* Forget entries that fell out so a readmission restarts the clock. *)
+  let current = Rtable.preds node.rt in
+  Hashtbl.iter
+    (fun addr _ ->
+      if not (List.exists (fun p -> p.Peer.addr = addr) current) then
+        Hashtbl.remove node.pred_since addr)
+    (Hashtbl.copy node.pred_since)
+
+(* Evict a peer only after repeated timeouts within a short window: a
+   single slow round trip must not drop a live neighbor (it races the CA's
+   justification analysis and costs real false accusations). *)
+let note_timeout node ~now ~window ~strikes addr =
+  match Hashtbl.find_opt node.timeout_strikes addr with
+  | Some (count, last) when now -. last <= window ->
+    Hashtbl.replace node.timeout_strikes addr (count + 1, now);
+    count + 1 >= strikes
+  | Some _ | None ->
+    Hashtbl.replace node.timeout_strikes addr (1, now);
+    strikes <= 1
+
+let pred_known_since node (peer : Peer.t) =
+  match Hashtbl.find_opt node.pred_since peer.Peer.addr with
+  | Some (id, since) when id = peer.Peer.id -> Some since
+  | Some _ | None -> None
+
+let reset_volatile node =
+  Hashtbl.reset node.sessions;
+  Hashtbl.reset node.back_routes;
+  Hashtbl.reset node.receipts;
+  Hashtbl.reset node.statements;
+  Hashtbl.reset node.received_cids;
+  Hashtbl.reset node.pred_since;
+  Hashtbl.reset node.witness_waits;
+  Hashtbl.reset node.timeout_strikes;
+  node.proofs <- [];
+  node.buffered_tables <- [];
+  node.intro_proofs <- [];
+  node.pool <- []

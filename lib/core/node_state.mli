@@ -1,0 +1,84 @@
+(** Per-node protocol state.
+
+    One value of {!t} holds everything a single Octopus node owns:
+    identity and keys, routing table, relay-pair pool, DoS-defense
+    receipts/statements, proof archive, and storage shard. The
+    population-level bookkeeping (network, CA, verification cache,
+    metrics) lives in {!Deployment}; {!World} re-exports both so
+    existing call sites keep working. All helpers here take their
+    timing/limit parameters explicitly — this module never reads a
+    clock or a {!Config.t}. *)
+
+module Peer = Octo_chord.Peer
+module Rtable = Octo_chord.Rtable
+
+(** A relay leg the initiator shares a session key with. *)
+type relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
+
+(** An anonymization relay pair — the last two hops of a random walk. *)
+type pair = { p_first : relay; p_second : relay; p_born : float }
+
+type back_route = { br_prev : int; br_sid : int; br_at : float }
+
+type t = {
+  addr : int;
+  mutable peer : Peer.t;
+  mutable rt : Rtable.t;
+  mutable alive : bool;
+  mutable revoked : bool;
+  mutable malicious : bool;
+  mutable keypair : Octo_crypto.Keys.keypair;
+  mutable cert : Octo_crypto.Cert.t;
+  mutable proofs : (float * Types.signed_list) list;
+      (** (received_at, signed input), newest first, bounded *)
+  sessions : (int, bytes) Hashtbl.t;  (** sid -> relay-session key *)
+  back_routes : (int, back_route) Hashtbl.t;
+  receipts : (int, Types.receipt) Hashtbl.t;  (** cid -> next hop's receipt *)
+  statements : (int, Types.witness_statement list) Hashtbl.t;
+  received_cids : (int, float) Hashtbl.t;  (** forward evidence *)
+  mutable buffered_tables : Types.signed_table list;  (** for finger checks *)
+  mutable pool : pair list;  (** available relay pairs *)
+  pred_since : (int, int * float) Hashtbl.t;
+      (** addr -> (identity, entered pred list at) *)
+  witness_waits : (int, int * int) Hashtbl.t;
+      (** cid -> (rid, requester) while acting as a delivery witness *)
+  mutable intro_proofs : (float * Types.signed_list) list;
+      (** (received_at, document) introductions of adopted successors:
+          verification-probe pred lists and archived former-head inputs,
+          newest first, bounded *)
+  storage : (int, bytes) Hashtbl.t;  (** the node's key-value shard *)
+  timeout_strikes : (int, int * float) Hashtbl.t;
+      (** addr -> (consecutive timeouts, last at); see {!note_timeout} *)
+}
+
+val make :
+  addr:int ->
+  peer:Peer.t ->
+  rt:Rtable.t ->
+  malicious:bool ->
+  keypair:Octo_crypto.Keys.keypair ->
+  cert:Octo_crypto.Cert.t ->
+  t
+(** A fresh, alive node with empty volatile state. *)
+
+val is_active_malicious : t -> bool
+(** Malicious, alive, and not yet revoked. *)
+
+val truncate : int -> 'a list -> 'a list
+
+val push_intro : t -> now:float -> cap:int -> Types.signed_list -> unit
+val push_proof : t -> now:float -> queue_len:int -> Types.signed_list -> unit
+val buffer_table : t -> Types.signed_table -> unit
+
+val update_preds : t -> now:float -> Peer.t list -> unit
+(** [Rtable.set_preds] plus arrival-time tracking for the surveillance
+    freshness rule. *)
+
+val note_timeout : t -> now:float -> window:float -> strikes:int -> int -> bool
+(** Record an RPC give-up against a peer address; [true] when it should
+    now be evicted ([strikes] give-ups within [window] seconds). *)
+
+val pred_known_since : t -> Peer.t -> float option
+(** When this exact identity entered the predecessor list, if current. *)
+
+val reset_volatile : t -> unit

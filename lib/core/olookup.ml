@@ -1,7 +1,6 @@
 module Peer = Octo_chord.Peer
 module Id = Octo_chord.Id
 module Rtable = Octo_chord.Rtable
-module Engine = Octo_sim.Engine
 module Rng = Octo_sim.Rng
 module Trace = Octo_sim.Trace
 
@@ -142,9 +141,9 @@ let fire_dummies w (node : World.node) ~ab ~pairs =
               ~query:(Types.Q_table { session = None })
               (fun _ -> ())
           in
-          ignore
-            (Engine.schedule w.World.engine ~delay:(Rng.float w.World.rng 2.0) (fun () ->
-                 if node.World.alive then fire ()))
+          World.after w
+            ~delay:(Rng.float w.World.rng w.World.cfg.Config.dummy_fire_window)
+            (fun () -> if node.World.alive then fire ())
         end)
       pairs
   end

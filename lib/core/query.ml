@@ -1,5 +1,5 @@
 module Peer = Octo_chord.Peer
-module Engine = Octo_sim.Engine
+module Rpc = Octo_sim.Rpc
 module Rng = Octo_sim.Rng
 module Onion = Octo_crypto.Onion
 module Trace = Octo_sim.Trace
@@ -29,68 +29,95 @@ let send w (node : World.node) ?(dummy = false) ~relays ~target ~query ?timeout 
   if not (distinct_addrs ~initiator:node.World.addr relays) then
     (* A relay appearing twice would treat its second leg as a duplicate
        delivery; fail fast so the caller picks other pairs. *)
-    ignore (Engine.schedule w.World.engine ~delay:0.0 (fun () -> k None))
+    World.after w ~delay:0.0 (fun () -> k None)
   else
-  let cid = World.fresh_cid w in
-  if Trace.on () then
-    Trace.emit ~time:(World.now w) ~node:node.World.addr
-      (Trace.Query_sent
-         {
-           cid;
-           target_addr = target.Peer.addr;
-           target_id = target.Peer.id;
-           relays = List.map (fun r -> r.World.r_peer.Peer.addr) relays;
-           dummy;
-         });
-  let deadline = World.now w +. timeout in
-  let keys = List.map (fun r -> r.World.r_key) relays in
-  let capsule = Onion.wrap ~rng:w.World.rng ~keys (Types.query_digest ~target ~cid query) in
-  (* The second relay (B) adds the anti-timing random delay. *)
-  let delay_for i = if i = 1 then Rng.float w.World.rng cfg.Config.relay_max_delay else 0.0 in
-  let legs = List.mapi (fun i r -> (r.World.r_peer.Peer.addr, r.World.r_sid, delay_for i)) relays in
-  match legs with
-  | [] ->
-    (* Degenerate: no relays — deliver directly (used only by tests). *)
-    World.rpc w ~src:node.World.addr ~dst:target.Peer.addr ~timeout
-      ~make:(fun rid -> Types.Anon_req { rid; query })
-      ~on_timeout:(fun () -> k None)
-      (fun msg ->
-        match msg with Types.Anon_resp { reply; _ } -> k (Some reply) | _ -> k None)
-  | (first_addr, first_sid, first_delay) :: rest ->
-    let fwd =
-      Types.Fwd
-        { cid; sid = first_sid; delay = first_delay; hops = rest; target; query; deadline; capsule }
-    in
-    let timeout_ev =
-      Engine.schedule w.World.engine ~delay:timeout (fun () ->
-          if Hashtbl.mem w.World.anon_waiting cid then begin
-            Hashtbl.remove w.World.anon_waiting cid;
-            if cfg.Config.dos_defense then begin
-              let report =
-                Types.R_dos
-                  {
-                    reporter = node.World.peer;
-                    relays = List.map (fun r -> r.World.r_peer) relays;
-                    cid;
-                    sent_at = deadline -. timeout;
-                  }
-              in
-              (* Reports are one-way: the CA acts but does not acknowledge. *)
-              World.send w ~src:node.World.addr ~dst:w.World.ca_addr
-                (Types.Report_msg { rid = 0; report })
-            end;
-            k None
-          end)
-    in
-    Hashtbl.replace w.World.anon_waiting cid
-      ( node.World.addr,
-        fun reply capsule ->
-        Engine.cancel timeout_ev;
-        let ok =
-          match Onion.peel_all ~keys capsule with
-          | Some digest -> Bytes.equal digest (Types.reply_digest ~cid reply)
-          | None -> false
-        in
-        if ok then k reply else k None );
-    World.send w ~src:node.World.addr ~dst:first_addr fwd;
-    Serve.arm_receipt_watch w node ~cid ~next:(World.node w first_addr).World.peer ~fwd
+    match relays with
+    | [] ->
+      (* Degenerate: no relays — deliver directly (used only by tests). *)
+      World.rpc w ~src:node.World.addr ~dst:target.Peer.addr ~timeout
+        ~make:(fun rid -> Types.Anon_req { rid; query })
+        ~on_timeout:(fun () -> k None)
+        (fun msg ->
+          match msg with Types.Anon_resp { reply; _ } -> k (Some reply) | _ -> k None)
+    | first :: _ ->
+      let self = node.World.addr in
+      let sent_at = World.now w in
+      let deadline = sent_at +. timeout in
+      let keys = List.map (fun r -> r.World.r_key) relays in
+      (* The query's cid is its rid in the shared RPC table, so the reply
+         resolves the call like any other response. Relays de-duplicate
+         cids in flight, which would drop a retransmission — anonymous
+         queries are therefore always single-attempt; give-up after the
+         query deadline is the (reported) failure. *)
+      let policy = World.rpc_policy w ~timeout ~attempts:1 () in
+      let cid_ref = ref (-1) in
+      ignore
+        (Rpc.call w.World.rpc ~src:self ~dst:first.World.r_peer.Peer.addr ~policy
+           ~send:(fun cid ->
+             cid_ref := cid;
+             if Trace.on () then
+               Trace.emit ~time:(World.now w) ~node:self
+                 (Trace.Query_sent
+                    {
+                      cid;
+                      target_addr = target.Peer.addr;
+                      target_id = target.Peer.id;
+                      relays = List.map (fun r -> r.World.r_peer.Peer.addr) relays;
+                      dummy;
+                    });
+             let capsule =
+               Onion.wrap ~rng:w.World.rng ~keys (Types.query_digest ~target ~cid query)
+             in
+             (* The second relay (B) adds the anti-timing random delay. *)
+             let delay_for i =
+               if i = 1 then Rng.float w.World.rng cfg.Config.relay_max_delay else 0.0
+             in
+             let legs =
+               List.mapi
+                 (fun i r -> (r.World.r_peer.Peer.addr, r.World.r_sid, delay_for i))
+                 relays
+             in
+             match legs with
+             | (first_addr, first_sid, first_delay) :: rest ->
+               let fwd =
+                 Types.Fwd
+                   {
+                     cid;
+                     sid = first_sid;
+                     delay = first_delay;
+                     hops = rest;
+                     target;
+                     query;
+                     deadline;
+                     capsule;
+                   }
+               in
+               World.send w ~src:self ~dst:first_addr fwd;
+               Serve.arm_receipt_watch w node ~cid ~next:(World.node w first_addr).World.peer
+                 ~fwd
+             | [] -> assert false)
+           ~on_give_up:(fun () ->
+             if cfg.Config.dos_defense then begin
+               let report =
+                 Types.R_dos
+                   {
+                     reporter = node.World.peer;
+                     relays = List.map (fun r -> r.World.r_peer) relays;
+                     cid = !cid_ref;
+                     sent_at;
+                   }
+               in
+               (* Reports are one-way: the CA acts but does not acknowledge. *)
+               World.send w ~src:self ~dst:w.World.ca_addr (Types.Report_msg { rid = 0; report })
+             end;
+             k None)
+           (fun msg ->
+             match msg with
+             | Types.Fwd_reply { reply; capsule; _ } ->
+               let ok =
+                 match Onion.peel_all ~keys capsule with
+                 | Some digest -> Bytes.equal digest (Types.reply_digest ~cid:!cid_ref reply)
+                 | None -> false
+               in
+               if ok then k reply else k None
+             | _ -> k None))

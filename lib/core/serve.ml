@@ -1,11 +1,8 @@
 module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
-module Engine = Octo_sim.Engine
 module Net = Octo_sim.Net
 module Onion = Octo_crypto.Onion
 module Sha256 = Octo_crypto.Sha256
-
-let receipt_wait = 2.0
 
 let phase2_index ~seed ~step ~count =
   assert (count > 0);
@@ -41,9 +38,9 @@ let record_statement (node : World.node) cid stmt =
   Hashtbl.replace node.World.statements cid (stmt :: cur)
 
 let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
-  if w.World.cfg.Config.dos_defense then
-    ignore
-      (Engine.schedule w.World.engine ~delay:receipt_wait (fun () ->
+  let cfg = w.World.cfg in
+  if cfg.Config.dos_defense then
+    World.after w ~delay:cfg.Config.receipt_wait (fun () ->
            if
              node.World.alive
              && (not (Hashtbl.mem node.World.receipts cid))
@@ -60,7 +57,7 @@ let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
              List.iter
                (fun (witness : Peer.t) ->
                  World.rpc w ~src:node.World.addr ~dst:witness.Peer.addr
-                   ~timeout:(2.0 *. receipt_wait +. 1.0)
+                   ~timeout:((2.0 *. cfg.Config.receipt_wait) +. cfg.Config.witness_timeout_slack)
                    ~make:(fun rid -> Types.Witness_req { rid; cid; target = next; fwd })
                    ~on_timeout:(fun () -> ())
                    (fun msg ->
@@ -72,7 +69,7 @@ let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
                        if World.verify_statement w stmt then record_statement node cid stmt
                      | _ -> ()))
                witnesses
-           end))
+           end)
 
 (* ------------------------------------------------------------------ *)
 (* Anonymous query handling at the final recipient *)
@@ -147,7 +144,7 @@ let exit_deliver w (node : World.node) ~cid ~target ~query ~deadline ~capsule =
   (* End-to-end integrity: the fully peeled capsule must match the query
      digest the initiator sealed in. *)
   if Bytes.equal capsule (Types.query_digest ~target ~cid query) then begin
-    let timeout = Float.max 0.5 (deadline -. World.now w) in
+    let timeout = Float.max w.World.cfg.Config.exit_min_timeout (deadline -. World.now w) in
     World.rpc w ~src:node.World.addr ~dst:target.Peer.addr ~timeout
       ~make:(fun rid -> Types.Anon_req { rid; query })
       ~on_timeout:(fun () -> send_reply w node ~cid None)
@@ -197,16 +194,19 @@ let handle_fwd w (node : World.node) ~prev ~cid ~sid ~delay ~hops
               | [] -> exit_deliver w node ~cid ~target ~query ~deadline ~capsule:peeled
             end
           in
-          if delay > 0.0 then ignore (Engine.schedule w.World.engine ~delay proceed)
-          else proceed ())
+          if delay > 0.0 then World.after w ~delay proceed else proceed ())
     end
   end
 
 let handle_fwd_reply w (node : World.node) ~cid ~reply ~capsule =
-  match Hashtbl.find_opt w.World.anon_waiting cid with
-  | Some (initiator, k) when initiator = node.World.addr ->
-    Hashtbl.remove w.World.anon_waiting cid;
-    k reply capsule
+  (* The cid is the initiator's rid in the shared RPC table: if we are
+     that caller, the reply resolves the call (Query's continuation peels
+     and validates the capsule). Otherwise we are a relay on the back
+     route — or the entry is gone (duplicate or late reply), which falls
+     through to the same branch and dies there. *)
+  match World.rpc_caller w cid with
+  | Some initiator when initiator = node.World.addr ->
+    ignore (World.resolve w cid (Types.Fwd_reply { cid; reply; capsule }))
   | Some _ | None -> (
     match Hashtbl.find_opt node.World.back_routes cid with
     | None -> ()
@@ -306,7 +306,7 @@ let handle_proofs w (node : World.node) =
       match Adversary.fabricated_justification w ~claimed_succ:first with
       | Some colluder ->
         let sl = World.sign_list w colluder Types.Succ_list cover in
-        [ { sl with Types.l_time = World.now w -. 15.0; l_memo = None } ]
+        [ { sl with Types.l_time = World.now w -. w.World.cfg.Config.adversary_backdate; l_memo = None } ]
       | None -> [])
   end
   else List.map snd node.World.proofs
@@ -403,15 +403,14 @@ let dispatch w addr (env : Types.msg Net.envelope) =
       if not (World.is_active_malicious node) then begin
         Hashtbl.replace node.World.witness_waits cid (rid, src);
         World.send w ~src:addr ~dst:target.Peer.addr fwd;
-        ignore
-          (Engine.schedule w.World.engine ~delay:receipt_wait (fun () ->
-               match Hashtbl.find_opt node.World.witness_waits cid with
-               | Some (rid, requester) ->
-                 Hashtbl.remove node.World.witness_waits cid;
-                 let stmt = World.sign_statement w node ~target ~cid in
-                 World.send w ~src:addr ~dst:requester
-                   (Types.Witness_resp { rid; outcome = Either.Right stmt })
-               | None -> ()))
+        World.after w ~delay:w.World.cfg.Config.receipt_wait (fun () ->
+            match Hashtbl.find_opt node.World.witness_waits cid with
+            | Some (rid, requester) ->
+              Hashtbl.remove node.World.witness_waits cid;
+              let stmt = World.sign_statement w node ~target ~cid in
+              World.send w ~src:addr ~dst:requester
+                (Types.Witness_resp { rid; outcome = Either.Right stmt })
+            | None -> ())
       end
     | Types.Replicate { rid; key; value } ->
       Hashtbl.replace node.World.storage key value;
@@ -428,7 +427,7 @@ let dispatch w addr (env : Types.msg Net.envelope) =
       | Types.Witness_resp _ | Types.Justify_resp _ | Types.Proofs_resp _
       | Types.Evidence_resp _ | Types.Replicate_ack _ ) as resp -> (
       match Types.rid resp with
-      | Some rid -> ignore (Net.Pending.resolve w.World.pending rid resp)
+      | Some rid -> ignore (World.resolve w rid resp)
       | None -> ())
     | Types.Report_msg _ -> () (* only the CA processes reports *)
   end

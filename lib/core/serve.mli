@@ -19,9 +19,6 @@ val arm_receipt_watch : World.t -> World.node -> cid:int -> next:Types.Peer.t ->
     witness protocol and retain the signed outcome as evidence. Used by
     relays and by initiators for their first leg. *)
 
-val receipt_wait : float
-(** How long a forwarder waits for a receipt before involving witnesses. *)
-
 val phase2_index : seed:int -> step:int -> count:int -> int
 (** The deterministic hop selection of the random walk's second phase:
     H(seed, step) reduced mod [count] (Appendix I, footnote 5). *)

@@ -57,11 +57,10 @@ let check w (node : World.node) =
         in
         if first <> None && counted_attack && World.is_active_malicious target_node then begin
           w.World.metrics.World.tests_on_attacker <- w.World.metrics.World.tests_on_attacker + 1;
-          ignore
-            (Octo_sim.Engine.schedule w.World.engine ~delay:90.0 (fun () ->
-                 if target_node.World.revoked then
-                   w.World.metrics.World.attacker_identified <-
-                     w.World.metrics.World.attacker_identified + 1))
+          World.after w ~delay:cfg.Config.identification_grace (fun () ->
+              if target_node.World.revoked then
+                w.World.metrics.World.attacker_identified <-
+                  w.World.metrics.World.attacker_identified + 1)
         end;
         match first with
         | Some (_, false) when node.World.alive ->
@@ -70,10 +69,8 @@ let check w (node : World.node) =
              re-test once before filing: only persistent omission is
              reported. *)
           verdict_trace w node ~target:p.Peer.addr "retest";
-          ignore
-            (Octo_sim.Engine.schedule w.World.engine
-               ~delay:(2.0 *. cfg.Config.stabilize_every)
-               (fun () ->
+          World.after w ~delay:cfg.Config.surveillance_retest_delay
+            (fun () ->
                  if node.World.alive then
                    test_pred w node p (fun second ->
                        match second with
@@ -86,6 +83,6 @@ let check w (node : World.node) =
                                 missing = node.World.peer;
                                 claimed = sl;
                               })
-                       | Some _ | None -> ())))
+                       | Some _ | None -> ()))
         | Some (_, true) -> verdict_trace w node ~target:p.Peer.addr "clean"
         | Some _ | None -> ())

@@ -1,6 +1,7 @@
 module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
 module Rng = Octo_sim.Rng
+module Rpc = Octo_sim.Rpc
 module Onion = Octo_crypto.Onion
 module Trace = Octo_sim.Trace
 
@@ -34,6 +35,10 @@ let fresh_session w =
 let run w (node : World.node) k0 =
   let cfg = w.World.cfg in
   let l = cfg.Config.walk_length in
+  (* Walk restarts are budgeted by the retry policy rather than an ad-hoc
+     constant: a selective-DoS adversary can fail every walk, and an
+     unbounded restart loop would spin silently. *)
+  let restart_policy = Rpc.policy ~attempts:cfg.Config.walk_max_attempts ~timeout:0.0 () in
   let attempts = ref 0 in
   let k outcome =
     if Trace.on () then
@@ -47,7 +52,16 @@ let run w (node : World.node) k0 =
   in
   let rec start () =
     incr attempts;
-    if !attempts > 3 || not node.World.alive then k None else phase1 ()
+    if Rpc.exhausted restart_policy ~attempt:!attempts then begin
+      let ran = !attempts - 1 in
+      if Trace.on () then
+        Trace.emit ~time:(World.now w) ~node:node.World.addr
+          (Trace.Walk_abandoned { attempts = ran });
+      w.World.metrics.World.walks_abandoned <- w.World.metrics.World.walks_abandoned + 1;
+      k None
+    end
+    else if not node.World.alive then k None
+    else phase1 ()
   and phase1 () =
     match Rtable.fingers node.World.rt with
     | [] -> k None
@@ -90,7 +104,9 @@ let run w (node : World.node) k0 =
         let sid, key = fresh_session w in
         Query.send w node ~relays:(List.rev relays_rev) ~target:next
           ~query:(Types.Q_table { session = Some (sid, key) })
-          ~timeout:(1.0 +. (0.5 *. float_of_int i))
+          ~timeout:
+            (cfg.Config.walk_step_timeout_base
+            +. (cfg.Config.walk_step_timeout_per_hop *. float_of_int i))
           (fun reply ->
             match reply with
             | Some (Types.R_table st) when table_ok w node ~expect_owner:next st ->
@@ -107,7 +123,9 @@ let run w (node : World.node) k0 =
       let seed = Rng.int w.World.rng 0x3FFFFFFF in
       Query.send w node ~relays:front ~target:ul.World.r_peer
         ~query:(Types.Q_phase2 { seed; length = l })
-        ~timeout:(2.0 +. float_of_int l)
+        ~timeout:
+          (cfg.Config.walk_phase2_timeout_base
+          +. (cfg.Config.walk_phase2_timeout_per_hop *. float_of_int l))
         (fun reply ->
           match reply with
           | Some (Types.R_phase2 tables)
@@ -123,14 +141,14 @@ let run w (node : World.node) k0 =
     let sid_c, key_c = fresh_session w in
     Query.send w node ~relays ~target:c
       ~query:(Types.Q_establish { sid = sid_c; key = key_c })
-      ~timeout:3.0
+      ~timeout:cfg.Config.walk_establish_timeout
       (fun reply ->
         match reply with
         | Some Types.R_ok ->
           let sid_d, key_d = fresh_session w in
           Query.send w node ~relays ~target:d
             ~query:(Types.Q_establish { sid = sid_d; key = key_d })
-            ~timeout:3.0
+            ~timeout:cfg.Config.walk_establish_timeout
             (fun reply ->
               match reply with
               | Some Types.R_ok ->

@@ -1,206 +1,16 @@
-(** The simulated Octopus deployment: nodes, CA authority, network, and
-    shared bookkeeping. Behaviour lives in the protocol modules ({!Serve},
-    {!Query}, {!Walk}, {!Olookup}, {!Surveillance}, {!Finger_check},
-    {!Ca}, {!Maintain}); this module owns the state they operate on. *)
+(** Thin facade over the layered node runtime.
 
-module Peer = Octo_chord.Peer
-module Id = Octo_chord.Id
-module Rtable = Octo_chord.Rtable
+    The former [World] god-object is split in two: {!Node_state} holds
+    everything one node owns (identity, routing table, relay pool,
+    receipts, storage), {!Deployment} holds population-level machinery
+    (network, RPC substrate, CA authority, verification cache,
+    metrics). This module re-exports both — including the record field
+    names — so protocol code and tests keep addressing a single
+    [World]. New code should depend on the specific layer it needs. *)
 
-(** A relay leg the initiator shares a session key with. *)
-type relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
+module Node_state = Node_state
+module Deployment = Deployment
 
-(** An anonymization relay pair — the last two hops of a random walk. *)
-type pair = { p_first : relay; p_second : relay; p_born : float }
-
-type back_route = { br_prev : int; br_sid : int; br_at : float }
-
-type node = {
-  addr : int;
-  mutable peer : Peer.t;
-  mutable rt : Rtable.t;
-  mutable alive : bool;
-  mutable revoked : bool;
-  mutable malicious : bool;
-  mutable keypair : Octo_crypto.Keys.keypair;
-  mutable cert : Octo_crypto.Cert.t;
-  mutable proofs : (float * Types.signed_list) list;
-      (** (received_at, signed input), newest first, bounded *)
-  sessions : (int, bytes) Hashtbl.t;  (** sid -> relay-session key *)
-  back_routes : (int, back_route) Hashtbl.t;
-  receipts : (int, Types.receipt) Hashtbl.t;  (** cid -> next hop's receipt *)
-  statements : (int, Types.witness_statement list) Hashtbl.t;
-  received_cids : (int, float) Hashtbl.t;  (** forward evidence *)
-  mutable buffered_tables : Types.signed_table list;  (** for finger checks *)
-  mutable pool : pair list;  (** available relay pairs *)
-  pred_since : (int, int * float) Hashtbl.t;
-      (** addr -> (identity, entered pred list at) *)
-  witness_waits : (int, int * int) Hashtbl.t;
-      (** cid -> (rid, requester) while acting as a delivery witness *)
-  mutable intro_proofs : (float * Types.signed_list) list;
-      (** (received_at, document) introductions of adopted successors:
-          verification-probe pred lists and archived former-head inputs,
-          newest first, bounded *)
-  storage : (int, bytes) Hashtbl.t;  (** the node's key-value shard *)
-  timeout_strikes : (int, int * float) Hashtbl.t;
-      (** addr -> (consecutive timeouts, last at); see {!note_timeout} *)
-}
-
-type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
-
-type attack_spec = { kind : attack_kind; rate : float; consistency : float }
-(** [rate]: probability a malicious node attacks a given opportunity;
-    [consistency]: probability a checked colluding predecessor covers for a
-    manipulated finger (Table 2 uses 50%). *)
-
-val no_attack : attack_spec
-
-type metrics = {
-  lookups : Octo_sim.Metrics.Series.t;
-  biased : Octo_sim.Metrics.Series.t;
-  ca_msgs : Octo_sim.Metrics.Series.t;
-  mal_frac : Octo_sim.Metrics.Series.t;
-  mutable tests_on_attacker : int;
-  mutable attacker_identified : int;
-  mutable reports : int;
-  mutable convicted_malicious : int;
-  mutable convicted_honest : int;
-  mutable no_conviction : int;
-}
-
-type t = {
-  engine : Octo_sim.Engine.t;
-  cfg : Config.t;
-  net : Types.msg Octo_sim.Net.t;
-  space : Id.space;
-  nodes : node array;
-  ca_addr : int;
-  registry : Octo_crypto.Keys.registry;
-  authority : Octo_crypto.Cert.authority;
-  pending : Types.msg Octo_sim.Net.Pending.t;
-  rng : Octo_sim.Rng.t;
-  used_ids : (int, unit) Hashtbl.t;
-  mutable attack : attack_spec;
-  mutable next_sid : int;
-  mutable next_cid : int;
-  anon_waiting : (int, int * (Types.anon_reply option -> bytes -> unit)) Hashtbl.t;
-      (** initiator address and continuation for in-flight anonymous
-          queries, by cid; invoked with the reply and the accumulated reply
-          capsule *)
-  verify_cache : (string, bool) Hashtbl.t;
-      (** cached time-independent verification verdicts, keyed by
-          (digest, signature, cert tag); bounded, flushed on revocation *)
-  metrics : metrics;
-}
-
-val create :
-  ?cfg:Config.t ->
-  ?fraction_malicious:float ->
-  ?metrics_bucket:float ->
-  Octo_sim.Engine.t ->
-  Octo_sim.Latency.t ->
-  n:int ->
-  t
-(** Build a bootstrapped network of [n] nodes (addresses [0..n-1]; the CA
-    listens on address [n], so the latency space must have [n+1] slots).
-    Topology, certificates, and an initial relay-pair pool are provisioned
-    from global knowledge, as for the Chord bootstrap. No handlers are
-    installed — call {!Serve.install} and {!Ca.create}. *)
-
-val now : t -> float
-val node : t -> int -> node
-val n_nodes : t -> int
-val fresh_sid : t -> int
-val fresh_cid : t -> int
-val fresh_id : t -> int
-
-val is_active_malicious : node -> bool
-(** Malicious, alive, and not yet revoked. *)
-
-val malicious_fraction : t -> float
-val alive_honest_addrs : t -> int list
-val random_alive : t -> Octo_sim.Rng.t -> int
-val colluders : t -> node list
-(** Active malicious nodes. *)
-
-val find_owner : t -> key:int -> Peer.t option
-(** Ground truth among alive, unrevoked nodes. *)
-
-val send : t -> src:int -> dst:int -> Types.msg -> unit
-
-val rpc :
-  t ->
-  src:int ->
-  dst:int ->
-  ?timeout:float ->
-  make:(int -> Types.msg) ->
-  on_timeout:(unit -> unit) ->
-  (Types.msg -> unit) ->
-  unit
-
-(* -- signing and verification ------------------------------------- *)
-
-val sign_list : t -> node -> Types.list_kind -> Peer.t list -> Types.signed_list
-val sign_table : t -> node -> fingers:Peer.t option list -> succs:Peer.t list -> Types.signed_table
-
-val honest_list : t -> node -> Types.list_kind -> Types.signed_list
-(** The node's true successor/predecessor list, signed now. *)
-
-val honest_table : t -> node -> Types.signed_table
-
-val verify_list :
-  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_list -> bool
-(** Signature, certificate, freshness, owner match, clockwise ordering.
-    By default a structure from a *currently revoked* identity fails, even
-    if it was signed before the revocation — routing must never act on a
-    revoked node's state, and cached verdicts must not outlive ejection.
-    The CA passes [~revoked_ok:true] when weighing historical evidence
-    (justification chains legitimately verify documents whose signer has
-    since been ejected). The expensive time-independent part of the check
-    is cached; see {!t.verify_cache}. *)
-
-val verify_table :
-  t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_table -> bool
-
-val sanitize_table : t -> node -> Types.signed_table -> Types.signed_table
-(** NISAN-style bound filtering (§4.1): drop fingers implausibly far past
-    their ideal positions, judged against the density estimated from the
-    node's own neighborhood. Successor lists are kept whole (they have no
-    ideal positions; their manipulation is countered by secret neighbor
-    surveillance). The result is for local routing decisions only (its
-    signature no longer covers it). *)
-
-val sign_receipt : t -> node -> cid:int -> Types.receipt
-val verify_receipt : t -> Types.receipt -> bool
-val sign_statement : t -> node -> target:Peer.t -> cid:int -> Types.witness_statement
-val verify_statement : t -> Types.witness_statement -> bool
-
-(* -- node state helpers -------------------------------------------- *)
-
-val push_proof : t -> node -> Types.signed_list -> unit
-val push_intro : t -> node -> Types.signed_list -> unit
-val buffer_table : t -> node -> Types.signed_table -> unit
-val update_preds : t -> node -> Peer.t list -> unit
-(** [Rtable.set_preds] plus arrival-time tracking for the surveillance
-    freshness rule. *)
-
-val note_timeout : t -> node -> int -> bool
-(** Record an RPC timeout against a peer; [true] when it should now be
-    evicted (two strikes within 30 s — one slow round trip never drops a
-    live neighbor). *)
-
-val pred_known_since : node -> Peer.t -> float option
-(** When this exact identity entered the predecessor list, if current. *)
-
-(* -- membership events --------------------------------------------- *)
-
-val kill : t -> int -> unit
-val revive : t -> int -> unit
-(** Rejoin with a fresh identity and certificate; routing state empty. *)
-
-val revoke : t -> int -> unit
-(** Certificate revocation: the node is ejected and purged from every
-    honest routing table (modelling CRL distribution). *)
-
-val sample_metrics : t -> unit
-(** Record the current malicious fraction into the time series. *)
+include module type of struct
+  include Deployment
+end

@@ -1,6 +1,3 @@
-module Engine = Octo_sim.Engine
-module Rng = Octo_sim.Rng
-module Latency = Octo_sim.Latency
 module Table = Octo_sim.Metrics.Table
 open Octo_anonymity
 
@@ -29,24 +26,20 @@ type proof_point = { queue_len : int; fp : float; fa : float; final_malicious : 
 let proof_queue ?(n = 300) ?(duration = 400.0) ?(seed = 42) () =
   List.map
     (fun queue_len ->
-      let engine = Engine.create ~seed () in
-      let latency = Latency.create (Rng.split (Engine.rng engine)) ~n:(n + 1) in
       let cfg = { Octopus.Config.default with Octopus.Config.proof_queue_len = queue_len } in
-      let w = Octopus.World.create ~cfg ~fraction_malicious:0.2 engine latency ~n in
-      Octopus.Serve.install w;
-      let _ = Octopus.Ca.create w in
-      w.Octopus.World.attack <-
-        { Octopus.World.kind = Octopus.World.Bias; rate = 1.0; consistency = 0.5 };
-      Octopus.Maintain.start
-        ~opts:{ Octopus.Maintain.enable_lookups = true; churn_mean = None; enable_checks = true }
-        w;
-      Engine.run engine ~until:duration;
-      let m = w.Octopus.World.metrics in
-      let reports = max 1 m.Octopus.World.reports in
+      let sc =
+        Scenario.run
+          (Scenario.make ~seed ~cfg ~fraction_malicious:0.2
+             ~attack:{ Octopus.World.kind = Octopus.World.Bias; rate = 1.0; consistency = 0.5 }
+             ~n ~duration ())
+      in
+      let w = Scenario.world sc in
+      let m = Octopus.World.metrics_snapshot w in
+      let reports = max 1 m.Octopus.World.ms_reports in
       {
         queue_len;
-        fp = float_of_int m.Octopus.World.convicted_honest /. float_of_int reports;
-        fa = float_of_int m.Octopus.World.no_conviction /. float_of_int reports;
+        fp = float_of_int m.Octopus.World.ms_convicted_honest /. float_of_int reports;
+        fa = float_of_int m.Octopus.World.ms_no_conviction /. float_of_int reports;
         final_malicious = Octopus.World.malicious_fraction w;
       })
     [ 2; 6 ]
@@ -56,44 +49,24 @@ type bounds_point = { tolerance : float; malicious_relay_fraction : float }
 let bound_checking ?(n = 300) ?(duration = 150.0) ?(seed = 42) () =
   List.map
     (fun tolerance ->
-      let engine = Engine.create ~seed () in
-      let latency = Latency.create (Rng.split (Engine.rng engine)) ~n:(n + 1) in
       let cfg = { Octopus.Config.default with Octopus.Config.bound_tolerance = tolerance } in
-      let w = Octopus.World.create ~cfg ~fraction_malicious:0.2 engine latency ~n in
-      Octopus.Serve.install w;
-      let _ = Octopus.Ca.create w in
-      w.Octopus.World.attack <-
-        { Octopus.World.kind = Octopus.World.Finger_manip; rate = 1.0; consistency = 1.0 };
-      (* Identification off: isolate the bound check's effect on walks. *)
-      Octopus.Maintain.start
-        ~opts:
-          { Octopus.Maintain.enable_lookups = false; churn_mean = None; enable_checks = false }
-        w;
+      let spec =
+        (* Identification off: isolate the bound check's effect on walks. *)
+        Scenario.make ~seed ~cfg ~fraction_malicious:0.2
+          ~attack:
+            { Octopus.World.kind = Octopus.World.Finger_manip; rate = 1.0; consistency = 1.0 }
+          ~lookups:false ~checks:false ~n ~duration ()
+      in
       (* Drop the bootstrap pools so only walked pairs are measured. *)
-      Array.iter
-        (fun (node : Octopus.World.node) -> node.Octopus.World.pool <- [])
-        w.Octopus.World.nodes;
-      Engine.run engine ~until:duration;
-      let mal = ref 0 and total = ref 0 in
-      Array.iter
-        (fun (node : Octopus.World.node) ->
-          if not node.Octopus.World.malicious then
-            List.iter
-              (fun (pair : Octopus.World.pair) ->
-                List.iter
-                  (fun (r : Octopus.World.relay) ->
-                    incr total;
-                    if
-                      (Octopus.World.node w r.Octopus.World.r_peer.Octo_chord.Peer.addr)
-                        .Octopus.World.malicious
-                    then incr mal)
-                  [ pair.Octopus.World.p_first; pair.Octopus.World.p_second ])
-              node.Octopus.World.pool)
-        w.Octopus.World.nodes;
+      let spec = Scenario.on_ready spec Octopus.World.clear_pools in
+      let w = Scenario.world (Scenario.run spec) in
+      let relays = Octopus.World.honest_pool_relay_addrs w in
+      let total = List.length relays in
+      let mal = List.length (List.filter (Octopus.World.is_malicious w) relays) in
       {
         tolerance;
         malicious_relay_fraction =
-          (if !total = 0 then 0.0 else float_of_int !mal /. float_of_int !total);
+          (if total = 0 then 0.0 else float_of_int mal /. float_of_int total);
       })
     [ 2.0; 8.0; 1e12 ]
 

@@ -14,20 +14,6 @@ type latency_result = {
   attempted : int;
 }
 
-(* PlanetLab realism: a slice of hosts is slow or overloaded, adding
-   seconds of processing delay per message. Redundant-lookup schemes that
-   wait for every branch (Halo) are hit hardest — the paper's mean/median
-   gap. *)
-let straggler_fraction = 0.05
-
-let add_stragglers net ~n ~seed =
-  let rng = Rng.create ~seed:(seed + 77) in
-  for addr = 0 to n - 1 do
-    if Rng.coin rng straggler_fraction then
-      Octo_sim.Net.set_processing_delay net addr
-        (Some (fun r -> Rng.exponential r ~mean:1.5))
-  done
-
 let result_of dist ~attempted =
   {
     mean = Dist.mean dist;
@@ -48,23 +34,22 @@ let drive engine ~lookups ~spacing issue =
   Engine.run engine ~until:((float_of_int lookups *. spacing) +. 30.0)
 
 let octopus_latency ?(n = 207) ?(lookups = 600) ?(seed = 42) () =
-  let engine = Engine.create ~seed () in
-  let lat_rng = Rng.split (Engine.rng engine) in
-  let latency = Latency.create lat_rng ~n:(n + 1) in
-  let w = Octopus.World.create ~fraction_malicious:0.0 engine latency ~n in
-  Octopus.Serve.install w;
-  add_stragglers w.Octopus.World.net ~n ~seed;
-  let _ca = Octopus.Ca.create w in
   (* Live maintenance (walks keep the relay pools fresh), no measured
-     workload of its own. *)
-  Octopus.Maintain.start
-    ~opts:{ Octopus.Maintain.enable_lookups = false; churn_mean = None; enable_checks = false }
-    w;
+     workload of its own — the drive loop below issues the lookups. *)
+  let sc =
+    Scenario.build
+      (Scenario.make ~seed ~fraction_malicious:0.0 ~lookups:false ~checks:false
+         ~stragglers:true ~n
+         ~duration:((float_of_int lookups *. 0.35) +. 30.0)
+         ())
+  in
+  let w = Scenario.world sc in
+  let engine = Scenario.engine sc in
   let rng = Rng.create ~seed:(seed + 1) in
   let dist = Dist.create () in
   drive engine ~lookups ~spacing:0.35 (fun () ->
       let from = Octopus.World.random_alive w rng in
-      let key = Id.random w.Octopus.World.space rng in
+      let key = Id.random (Octopus.World.space w) rng in
       Octopus.Olookup.anonymous w (Octopus.World.node w from) ~key (fun result ->
           match result.Octopus.Olookup.owner with
           | Some _ -> Dist.add dist result.Octopus.Olookup.elapsed
@@ -76,7 +61,7 @@ let chord_network ?(n = 207) ~seed () =
   let lat_rng = Rng.split (Engine.rng engine) in
   let latency = Latency.create lat_rng ~n in
   let net = Network.create engine latency ~n in
-  add_stragglers (Network.net net) ~n ~seed;
+  Scenario.add_net_stragglers (Network.net net) ~n ~seed;
   Octo_chord.Stabilize.start net ();
   (engine, net)
 

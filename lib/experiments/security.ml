@@ -1,8 +1,3 @@
-module Engine = Octo_sim.Engine
-module Rng = Octo_sim.Rng
-module Latency = Octo_sim.Latency
-module Series = Octo_sim.Metrics.Series
-
 type spec = {
   n : int;
   fraction_malicious : float;
@@ -41,50 +36,48 @@ type result = {
 }
 
 let run spec =
-  let engine = Engine.create ~seed:spec.seed () in
-  let lat_rng = Rng.split (Engine.rng engine) in
-  let latency = Latency.create lat_rng ~n:(spec.n + 1) in
   let cfg =
-    if spec.attack = Octopus.World.Selective_dos then { Octopus.Config.default with Octopus.Config.dos_defense = true }
+    if spec.attack = Octopus.World.Selective_dos then
+      { Octopus.Config.default with Octopus.Config.dos_defense = true }
     else Octopus.Config.default
   in
-  let w =
-    Octopus.World.create ~cfg ~fraction_malicious:spec.fraction_malicious ~metrics_bucket:10.0 engine
-      latency ~n:spec.n
+  let sc =
+    Scenario.run
+      (Scenario.make ~seed:spec.seed ~cfg ~fraction_malicious:spec.fraction_malicious
+         ~metrics_bucket:10.0
+         ~attack:
+           {
+             Octopus.World.kind = spec.attack;
+             rate = spec.attack_rate;
+             consistency = spec.consistency;
+           }
+         ?churn_mean:spec.churn_mean ~lookups:spec.enable_lookups ~n:spec.n
+         ~duration:spec.duration ())
   in
-  Octopus.Serve.install w;
-  let _ca = Octopus.Ca.create w in
-  w.Octopus.World.attack <-
-    { Octopus.World.kind = spec.attack; rate = spec.attack_rate; consistency = spec.consistency };
-  Octopus.Maintain.start
-    ~opts:
-      {
-        Octopus.Maintain.enable_lookups = spec.enable_lookups;
-        churn_mean = spec.churn_mean;
-        enable_checks = true;
-      }
-    w;
-  Engine.run engine ~until:spec.duration;
-  let m = w.Octopus.World.metrics in
-  let reports = m.Octopus.World.reports in
+  let w = Scenario.world sc in
+  let m = Octopus.World.metrics_snapshot w in
+  let reports = m.Octopus.World.ms_reports in
   let fp =
-    if reports = 0 then 0.0 else float_of_int m.Octopus.World.convicted_honest /. float_of_int reports
+    if reports = 0 then 0.0
+    else float_of_int m.Octopus.World.ms_convicted_honest /. float_of_int reports
   in
   let fn =
-    if m.Octopus.World.tests_on_attacker = 0 then 0.0
+    if m.Octopus.World.ms_tests_on_attacker = 0 then 0.0
     else
       Float.max 0.0
         (1.0
-        -. (float_of_int m.Octopus.World.convicted_malicious /. float_of_int m.Octopus.World.tests_on_attacker))
+        -. (float_of_int m.Octopus.World.ms_convicted_malicious
+           /. float_of_int m.Octopus.World.ms_tests_on_attacker))
   in
   let fa =
-    if reports = 0 then 0.0 else float_of_int m.Octopus.World.no_conviction /. float_of_int reports
+    if reports = 0 then 0.0
+    else float_of_int m.Octopus.World.ms_no_conviction /. float_of_int reports
   in
   {
-    mal_frac = Series.rows m.Octopus.World.mal_frac;
-    lookups_cum = Series.cumulative m.Octopus.World.lookups;
-    biased_cum = Series.cumulative m.Octopus.World.biased;
-    ca_msgs_cum = Series.cumulative m.Octopus.World.ca_msgs;
+    mal_frac = m.Octopus.World.ms_mal_frac;
+    lookups_cum = m.Octopus.World.ms_lookups_cum;
+    biased_cum = m.Octopus.World.ms_biased_cum;
+    ca_msgs_cum = m.Octopus.World.ms_ca_msgs_cum;
     false_positive = fp;
     false_negative = fn;
     false_alarm = fa;

@@ -1,6 +1,3 @@
-module Engine = Octo_sim.Engine
-module Rng = Octo_sim.Rng
-module Latency = Octo_sim.Latency
 module Trace = Octo_sim.Trace
 
 type result = {
@@ -14,32 +11,34 @@ let run ?(n = 80) ?(duration = 120.0) ?(seed = 7) ?(trace_capacity = 1 lsl 18)
     ?(revoke_one = false) () =
   let trace = Trace.create ~capacity:trace_capacity () in
   Trace.install trace;
-  let engine = Engine.create ~seed () in
-  let lat_rng = Rng.split (Engine.rng engine) in
-  let latency = Latency.create lat_rng ~n:(n + 1) in
-  let w = Octopus.World.create engine latency ~n in
-  Octopus.Serve.install w;
-  let _ca = Octopus.Ca.create w in
-  let checker = Octopus.Invariant.create w in
-  Octopus.Invariant.attach checker trace;
+  let checker = ref None in
   let lookups_done = ref 0 in
   let lookups_converged = ref 0 in
-  Trace.subscribe trace (fun ev ->
-      match ev.Trace.data with
-      | Trace.Lookup_done { owner_addr; _ } ->
-        incr lookups_done;
-        if owner_addr >= 0 then incr lookups_converged
-      | _ -> ());
-  Octopus.Maintain.start
-    ~opts:{ Octopus.Maintain.enable_lookups = true; churn_mean = None; enable_checks = true }
-    w;
-  if revoke_one then
-    ignore
-      (Engine.schedule engine ~delay:(duration /. 2.0) (fun () ->
-           (* A legitimate mid-run ejection: an honest node revoked by fiat
-              to exercise the revoked-identity invariant. *)
-           Octopus.World.revoke w (n / 2)));
-  Engine.run engine ~until:duration;
+  let spec = Scenario.make ~seed ~n ~duration () in
+  (* The checker must subscribe before maintenance starts so it observes
+     the scheduling of the periodic loops — hence [on_init]. *)
+  let spec =
+    Scenario.on_init spec (fun w ->
+        let c = Octopus.Invariant.create w in
+        Octopus.Invariant.attach c trace;
+        checker := Some c;
+        Trace.subscribe trace (fun ev ->
+            match ev.Trace.data with
+            | Trace.Lookup_done { owner_addr; _ } ->
+              incr lookups_done;
+              if owner_addr >= 0 then incr lookups_converged
+            | _ -> ()))
+  in
+  let spec =
+    if revoke_one then
+      Scenario.at spec ~time:(duration /. 2.0) (fun w ->
+          (* A legitimate mid-run ejection: an honest node revoked by fiat
+             to exercise the revoked-identity invariant. *)
+          Octopus.World.revoke w (n / 2))
+    else spec
+  in
+  let _sc = Scenario.run spec in
+  let checker = Option.get !checker in
   Octopus.Invariant.finish checker;
   Trace.uninstall ();
   {

@@ -1,0 +1,235 @@
+type policy = {
+  timeout : float;
+  attempts : int;
+  backoff : float;
+  backoff_mult : float;
+  backoff_max : float;
+  jitter : float;
+}
+
+let policy ?(attempts = 1) ?(backoff = 0.5) ?(backoff_mult = 2.0) ?(backoff_max = 8.0)
+    ?(jitter = 0.0) ~timeout () =
+  if attempts < 1 then invalid_arg "Rpc.policy: attempts < 1";
+  { timeout; attempts; backoff; backoff_mult; backoff_max; jitter }
+
+let backoff_nominal p ~attempt =
+  if attempt < 1 then invalid_arg "Rpc.backoff_nominal: attempt < 1";
+  Float.min p.backoff_max (p.backoff *. (p.backoff_mult ** float_of_int (attempt - 1)))
+
+let exhausted p ~attempt = attempt > p.attempts
+
+type state = Queued | Flying | Backoff | Done
+
+type 'm entry = {
+  e_rid : int;
+  e_src : int;
+  e_dst : int;
+  e_policy : policy;
+  e_deadline : float;  (* absolute; [infinity] when unbounded *)
+  e_send : int -> unit;
+  e_on_give_up : unit -> unit;
+  e_k : 'm -> unit;
+  mutable e_attempt : int;  (* attempts launched so far *)
+  mutable e_state : state;
+  mutable e_timer : Engine.handle option;
+}
+
+type 'm t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  cap : int;  (* per-dst in-flight cap; 0 = unbounded *)
+  table : (int, 'm entry) Hashtbl.t;
+  flying : (int, int) Hashtbl.t;  (* dst -> calls holding a slot *)
+  queues : (int, 'm entry Queue.t) Hashtbl.t;  (* dst -> backpressure FIFO *)
+  mutable next_id : int;
+}
+
+type token = Call_tok of int | Timer_tok of Engine.handle
+
+let create engine ~rng ?(in_flight_cap = 0) () =
+  {
+    engine;
+    rng;
+    cap = in_flight_cap;
+    table = Hashtbl.create 64;
+    flying = Hashtbl.create 16;
+    queues = Hashtbl.create 16;
+    next_id = 0;
+  }
+
+let in_flight t ~dst = Option.value ~default:0 (Hashtbl.find_opt t.flying dst)
+
+let queued t ~dst =
+  match Hashtbl.find_opt t.queues dst with
+  | None -> 0
+  | Some q -> Queue.fold (fun n e -> if e.e_state = Queued then n + 1 else n) 0 q
+
+let outstanding t = Hashtbl.length t.table
+
+let caller t rid =
+  match Hashtbl.find_opt t.table rid with Some e -> Some e.e_src | None -> None
+
+let emit t data =
+  if Trace.on () then Trace.emit ~time:(Engine.now t.engine) ~node:(-1) data
+
+let cancel_timer e =
+  match e.e_timer with
+  | Some h ->
+    Engine.cancel h;
+    e.e_timer <- None
+  | None -> ()
+
+let take_slot t dst = Hashtbl.replace t.flying dst (in_flight t ~dst + 1)
+
+let release_slot t dst =
+  let n = in_flight t ~dst - 1 in
+  if n <= 0 then Hashtbl.remove t.flying dst else Hashtbl.replace t.flying dst n
+
+(* Launch one attempt: the timeout is scheduled before the send runs so
+   that the timeout's [Sched] trace event precedes the send's, matching
+   the Pending.add-then-send ordering this module replaces. *)
+let rec attempt t e =
+  e.e_attempt <- e.e_attempt + 1;
+  e.e_state <- Flying;
+  let now = Engine.now t.engine in
+  let tmo = Float.min e.e_policy.timeout (e.e_deadline -. now) in
+  e.e_timer <- Some (Engine.schedule t.engine ~delay:(Float.max 0.0 tmo) (fun () -> on_timeout t e));
+  e.e_send e.e_rid
+
+and on_timeout t e =
+  if e.e_state = Flying then begin
+    e.e_timer <- None;
+    emit t (Trace.Rpc_timeout { rid = e.e_rid });
+    let now = Engine.now t.engine in
+    if e.e_attempt >= e.e_policy.attempts || now >= e.e_deadline then give_up t e
+    else begin
+      let nominal = backoff_nominal e.e_policy ~attempt:e.e_attempt in
+      (* Jitter is drawn only when a retry actually fires, so default
+         single-attempt policies leave the RNG stream untouched. *)
+      let jit =
+        if e.e_policy.jitter > 0.0 then nominal *. e.e_policy.jitter *. Rng.unit_float t.rng
+        else 0.0
+      in
+      let delay = nominal +. jit in
+      if now +. delay >= e.e_deadline then give_up t e
+      else begin
+        e.e_state <- Backoff;
+        emit t (Trace.Rpc_retry { rid = e.e_rid; attempt = e.e_attempt + 1; backoff = delay });
+        e.e_timer <-
+          Some
+            (Engine.schedule t.engine ~delay (fun () ->
+                 if e.e_state = Backoff then attempt t e))
+      end
+    end
+  end
+
+and give_up t e =
+  let attempts = e.e_attempt in
+  let held = retire t e in
+  emit t (Trace.Rpc_giveup { rid = e.e_rid; attempts });
+  (* Notify before pumping so the failed call is fully settled from the
+     caller's point of view when the next queued send fires. *)
+  e.e_on_give_up ();
+  if held then pump t e.e_dst
+
+(* Retire an entry, releasing its in-flight slot if it held one; the
+   caller pumps the queue after running user callbacks. *)
+and retire t e =
+  let held_slot = e.e_state = Flying || e.e_state = Backoff in
+  e.e_state <- Done;
+  Hashtbl.remove t.table e.e_rid;
+  if held_slot then release_slot t e.e_dst;
+  held_slot
+
+and pump t dst =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.queues dst with
+    | None -> ()
+    | Some q ->
+      if (not (Queue.is_empty q)) && in_flight t ~dst < t.cap then begin
+        let e = Queue.pop q in
+        if e.e_state = Queued then begin
+          cancel_timer e;
+          if Engine.now t.engine >= e.e_deadline then begin
+            give_up t e;
+            (* The slot is still free: keep draining. *)
+            pump t dst
+          end
+          else begin
+            take_slot t dst;
+            attempt t e
+          end
+        end
+        else pump t dst (* cancelled while queued; skip *)
+      end
+
+let call t ~src ~dst ?(deadline = infinity) ~policy ~send ~on_give_up k =
+  let rid = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let e =
+    {
+      e_rid = rid;
+      e_src = src;
+      e_dst = dst;
+      e_policy = policy;
+      e_deadline = deadline;
+      e_send = send;
+      e_on_give_up = on_give_up;
+      e_k = k;
+      e_attempt = 0;
+      e_state = Queued;
+      e_timer = None;
+    }
+  in
+  Hashtbl.replace t.table rid e;
+  if t.cap > 0 && in_flight t ~dst >= t.cap then begin
+    let q =
+      match Hashtbl.find_opt t.queues dst with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.queues dst q;
+        q
+    in
+    Queue.push e q;
+    emit t (Trace.Rpc_queued { rid; dst });
+    if deadline < infinity then
+      e.e_timer <-
+        Some
+          (Engine.schedule t.engine
+             ~delay:(Float.max 0.0 (deadline -. Engine.now t.engine))
+             (fun () -> if e.e_state = Queued then give_up t e))
+  end
+  else begin
+    take_slot t dst;
+    attempt t e
+  end;
+  Call_tok rid
+
+let rid = function
+  | Call_tok id -> id
+  | Timer_tok _ -> invalid_arg "Rpc.rid: timer token"
+
+let resolve t id resp =
+  match Hashtbl.find_opt t.table id with
+  | Some e when e.e_state <> Done ->
+    cancel_timer e;
+    let held = retire t e in
+    emit t (Trace.Rpc_resolve { rid = id });
+    e.e_k resp;
+    if held then pump t e.e_dst;
+    true
+  | _ ->
+    emit t (Trace.Rpc_late { rid = id });
+    false
+
+let cancel t = function
+  | Timer_tok h -> Engine.cancel h
+  | Call_tok id -> (
+    match Hashtbl.find_opt t.table id with
+    | Some e when e.e_state <> Done ->
+      cancel_timer e;
+      if retire t e then pump t e.e_dst
+    | _ -> ())
+
+let after t ~delay f = Timer_tok (Engine.schedule t.engine ~delay f)

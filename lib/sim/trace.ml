@@ -6,9 +6,13 @@ type data =
   | Rpc_timeout of { rid : int }
   | Rpc_resolve of { rid : int }
   | Rpc_late of { rid : int }
+  | Rpc_retry of { rid : int; attempt : int; backoff : float }
+  | Rpc_giveup of { rid : int; attempts : int }
+  | Rpc_queued of { rid : int; dst : int }
   | Msg of { kind : string; dst : int; size : int }
   | Walk_step of { hop : int; index : int }
   | Walk_done of { ok : bool }
+  | Walk_abandoned of { attempts : int }
   | Circuit_relay of { relay : int }
   | Circuit_built of { relays : int list }
   | Circuit_torn of { reason : string }
@@ -111,6 +115,14 @@ let data_fields = function
   | Rpc_timeout { rid } -> ("rpc_timeout", [ ("rid", string_of_int rid) ])
   | Rpc_resolve { rid } -> ("rpc_resolve", [ ("rid", string_of_int rid) ])
   | Rpc_late { rid } -> ("rpc_late", [ ("rid", string_of_int rid) ])
+  | Rpc_retry { rid; attempt; backoff } ->
+    ( "rpc_retry",
+      [ ("rid", string_of_int rid); ("attempt", string_of_int attempt);
+        ("backoff", Printf.sprintf "%.6f" backoff) ] )
+  | Rpc_giveup { rid; attempts } ->
+    ("rpc_giveup", [ ("rid", string_of_int rid); ("attempts", string_of_int attempts) ])
+  | Rpc_queued { rid; dst } ->
+    ("rpc_queued", [ ("rid", string_of_int rid); ("dst", string_of_int dst) ])
   | Msg { kind; dst; size } ->
     ( "msg",
       [ ("kind", "\"" ^ json_escape kind ^ "\""); ("dst", string_of_int dst);
@@ -118,6 +130,7 @@ let data_fields = function
   | Walk_step { hop; index } ->
     ("walk_step", [ ("hop", string_of_int hop); ("index", string_of_int index) ])
   | Walk_done { ok } -> ("walk_done", [ ("ok", string_of_bool ok) ])
+  | Walk_abandoned { attempts } -> ("walk_abandoned", [ ("attempts", string_of_int attempts) ])
   | Circuit_relay { relay } -> ("circuit_relay", [ ("relay", string_of_int relay) ])
   | Circuit_built { relays } -> ("circuit_built", [ ("relays", ints relays) ])
   | Circuit_torn { reason } -> ("circuit_torn", [ ("reason", "\"" ^ json_escape reason ^ "\"") ])

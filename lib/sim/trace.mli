@@ -20,10 +20,18 @@ type data =
   | Rpc_timeout of { rid : int }
   | Rpc_resolve of { rid : int }
   | Rpc_late of { rid : int }  (** resolve after timeout/cancel; ignored *)
+  | Rpc_retry of { rid : int; attempt : int; backoff : float }
+      (** attempt [attempt] will be launched after [backoff] seconds *)
+  | Rpc_giveup of { rid : int; attempts : int }
+      (** the retry budget (or absolute deadline) is exhausted *)
+  | Rpc_queued of { rid : int; dst : int }
+      (** held back by the per-destination in-flight cap *)
   | Msg of { kind : string; dst : int; size : int }
       (** protocol-level egress ([World.send]); [node] is the sender *)
   | Walk_step of { hop : int; index : int }
   | Walk_done of { ok : bool }
+  | Walk_abandoned of { attempts : int }
+      (** the walk's restart budget ran out; no relay pair was produced *)
   | Circuit_relay of { relay : int }
   | Circuit_built of { relays : int list }
   | Circuit_torn of { reason : string }

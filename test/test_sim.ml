@@ -646,6 +646,216 @@ let test_churn_stop () =
   Engine.run e ~until:500.0;
   Alcotest.(check int) "no departures after stop" before (Churn.departures c)
 
+(* ------------------------------------------------------------------ *)
+(* Rpc *)
+
+let test_rpc_call_resolve () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) () in
+  let got = ref None and gave_up = ref false and sends = ref 0 in
+  let tok =
+    Rpc.call rpc ~src:0 ~dst:1
+      ~policy:(Rpc.policy ~timeout:2.0 ())
+      ~send:(fun _ -> incr sends)
+      ~on_give_up:(fun () -> gave_up := true)
+      (fun v -> got := Some v)
+  in
+  Alcotest.(check bool) "resolve ok" true (Rpc.resolve rpc (Rpc.rid tok) "resp");
+  Alcotest.(check bool) "duplicate rejected" false (Rpc.resolve rpc (Rpc.rid tok) "again");
+  Engine.run e ~until:10.0;
+  Alcotest.(check (option string)) "value" (Some "resp") !got;
+  Alcotest.(check bool) "no give-up after resolve" false !gave_up;
+  Alcotest.(check int) "one send" 1 !sends;
+  Alcotest.(check int) "no outstanding" 0 (Rpc.outstanding rpc)
+
+let test_rpc_retry_then_resolve () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) () in
+  let sends = ref 0 and got = ref None and gave_up = ref false in
+  ignore
+    (Rpc.call rpc ~src:0 ~dst:1
+       ~policy:(Rpc.policy ~attempts:3 ~backoff:1.0 ~timeout:2.0 ())
+       ~send:(fun r ->
+         incr sends;
+         (* The answer arrives only for the second attempt. *)
+         if !sends = 2 then
+           ignore (Engine.schedule e ~delay:0.5 (fun () -> ignore (Rpc.resolve rpc r "late"))))
+       ~on_give_up:(fun () -> gave_up := true)
+       (fun v -> got := Some v));
+  Engine.run e ~until:60.0;
+  Alcotest.(check int) "two sends" 2 !sends;
+  Alcotest.(check (option string)) "resolved on retry" (Some "late") !got;
+  Alcotest.(check bool) "no give-up" false !gave_up
+
+let test_rpc_giveup_after_attempts () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) () in
+  let rids = ref [] and gave_up = ref 0 in
+  ignore
+    (Rpc.call rpc ~src:0 ~dst:1
+       ~policy:(Rpc.policy ~attempts:3 ~backoff:0.5 ~timeout:1.0 ())
+       ~send:(fun r -> rids := r :: !rids)
+       ~on_give_up:(fun () -> incr gave_up)
+       (fun (_ : unit) -> Alcotest.fail "no response was ever sent"));
+  Engine.run e ~until:60.0;
+  Alcotest.(check int) "three attempts" 3 (List.length !rids);
+  Alcotest.(check int) "same rid across attempts" 1
+    (List.length (List.sort_uniq compare !rids));
+  Alcotest.(check int) "give-up exactly once" 1 !gave_up
+
+let test_rpc_deadline_caps_retries () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) () in
+  let sends = ref 0 and gave_up_at = ref nan in
+  ignore
+    (Rpc.call rpc ~src:0 ~dst:1 ~deadline:2.5
+       ~policy:(Rpc.policy ~attempts:10 ~backoff:1.0 ~timeout:1.0 ())
+       ~send:(fun _ -> incr sends)
+       ~on_give_up:(fun () -> gave_up_at := Engine.now e)
+       (fun (_ : unit) -> ()));
+  Engine.run e ~until:60.0;
+  Alcotest.(check bool) "deadline bounds the attempts" true (!sends < 10);
+  Alcotest.(check bool) "gave up by the deadline" true (!gave_up_at <= 2.5 +. 1e-9)
+
+let test_rpc_cap_queues_and_drains () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) ~in_flight_cap:1 () in
+  let sends = ref [] in
+  let call tag =
+    Rpc.call rpc ~src:0 ~dst:1
+      ~policy:(Rpc.policy ~timeout:5.0 ())
+      ~send:(fun _ -> sends := tag :: !sends)
+      ~on_give_up:(fun () -> ())
+      (fun (_ : string) -> ())
+  in
+  let t1 = call "a" in
+  let _t2 = call "b" in
+  Alcotest.(check (list string)) "second call queued" [ "a" ] (List.rev !sends);
+  Alcotest.(check int) "queued count" 1 (Rpc.queued rpc ~dst:1);
+  Alcotest.(check int) "in-flight count" 1 (Rpc.in_flight rpc ~dst:1);
+  ignore (Rpc.resolve rpc (Rpc.rid t1) "done");
+  Alcotest.(check (list string)) "resolving drains the queue" [ "a"; "b" ]
+    (List.rev !sends);
+  Alcotest.(check int) "queue empty" 0 (Rpc.queued rpc ~dst:1)
+
+let test_rpc_dead_node_retry_giveup () =
+  (* An in-flight call to a node that died resolves through the full
+     timeout -> retry -> give-up ladder rather than hanging. *)
+  let e, net = make_net () in
+  let rpc = Rpc.create e ~rng:(Rng.create ~seed:3) () in
+  Net.register net 1 (fun _ -> ());
+  Net.set_alive net 1 false;
+  let sends = ref 0 and gave_up = ref 0 in
+  ignore
+    (Rpc.call rpc ~src:0 ~dst:1
+       ~policy:(Rpc.policy ~attempts:3 ~backoff:0.5 ~timeout:1.0 ())
+       ~send:(fun rid ->
+         incr sends;
+         Net.send net ~src:0 ~dst:1 ~size:16 (string_of_int rid))
+       ~on_give_up:(fun () -> incr gave_up)
+       (fun (_ : string) -> Alcotest.fail "resolved against a dead node"));
+  Engine.run e ~until:60.0;
+  Alcotest.(check int) "all attempts spent" 3 !sends;
+  Alcotest.(check int) "one give-up" 1 !gave_up;
+  Alcotest.(check int) "no outstanding" 0 (Rpc.outstanding rpc)
+
+let prop_rpc_backoff_monotone =
+  QCheck.Test.make ~name:"rpc nominal backoff is monotone and capped" ~count:200
+    QCheck.(
+      triple (float_range 0.01 5.0) (float_range 1.0 4.0) (float_range 0.01 20.0))
+    (fun (base, mult, cap) ->
+      let p =
+        Rpc.policy ~attempts:10 ~backoff:base ~backoff_mult:mult ~backoff_max:cap
+          ~timeout:1.0 ()
+      in
+      let rec go prev attempt =
+        if attempt > 10 then true
+        else
+          let b = Rpc.backoff_nominal p ~attempt in
+          b >= prev -. 1e-9 && b <= cap +. 1e-9 && go b (attempt + 1)
+      in
+      go 0.0 1)
+
+let prop_rpc_schedule_deterministic =
+  QCheck.Test.make ~name:"rpc retry schedule is seed-deterministic" ~count:50
+    QCheck.(pair (int_range 1 5) (int_bound 1000))
+    (fun (attempts, seed) ->
+      let run () =
+        let e = Engine.create ~seed:9 () in
+        let rpc = Rpc.create e ~rng:(Rng.create ~seed) () in
+        let times = ref [] in
+        ignore
+          (Rpc.call rpc ~src:0 ~dst:1
+             ~policy:(Rpc.policy ~attempts ~backoff:0.3 ~jitter:0.5 ~timeout:1.0 ())
+             ~send:(fun _ -> times := Engine.now e :: !times)
+             ~on_give_up:(fun () -> times := (-1.0 -. Engine.now e) :: !times)
+             (fun (_ : unit) -> ()));
+        Engine.run e ~until:200.0;
+        List.rev !times
+      in
+      run () = run ())
+
+let prop_rpc_cancel_silent =
+  QCheck.Test.make ~name:"rpc cancel never fires a late callback" ~count:100
+    QCheck.(pair (float_range 0.0 10.0) (int_bound 4))
+    (fun (cancel_at, extra_attempts) ->
+      let e = Engine.create ~seed:5 () in
+      let rpc = Rpc.create e ~rng:(Rng.create ~seed:6) () in
+      let cancelled = ref false and late = ref false in
+      let tok =
+        Rpc.call rpc ~src:0 ~dst:1
+          ~policy:(Rpc.policy ~attempts:(1 + extra_attempts) ~backoff:0.4 ~timeout:1.0 ())
+          ~send:(fun _ -> ())
+          ~on_give_up:(fun () -> if !cancelled then late := true)
+          (fun (_ : unit) -> if !cancelled then late := true)
+      in
+      ignore
+        (Engine.schedule e ~delay:cancel_at (fun () ->
+             cancelled := true;
+             Rpc.cancel rpc tok));
+      Engine.run e ~until:100.0;
+      not !late)
+
+let prop_rpc_cap_never_exceeded =
+  QCheck.Test.make ~name:"rpc in-flight cap never exceeded" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 1 20))
+    (fun (cap, ncalls) ->
+      let e = Engine.create ~seed:7 () in
+      let rpc = Rpc.create e ~rng:(Rng.create ~seed:8) ~in_flight_cap:cap () in
+      let ok = ref true and live = ref 0 in
+      for i = 1 to ncalls do
+        ignore
+          (Engine.schedule e ~delay:(0.1 *. float_of_int i) (fun () ->
+               ignore
+                 (Rpc.call rpc ~src:0 ~dst:1
+                    ~policy:(Rpc.policy ~timeout:1.0 ())
+                    ~send:(fun _ ->
+                      incr live;
+                      if !live > cap || Rpc.in_flight rpc ~dst:1 > cap then ok := false)
+                    ~on_give_up:(fun () -> decr live)
+                    (fun (_ : unit) -> ()))))
+      done;
+      Engine.run e ~until:100.0;
+      !ok && Rpc.outstanding rpc = 0)
+
+let test_churn_stop_no_stray_rejoin () =
+  (* Stopping churn while a slot is mid-downtime must suppress the
+     pending rejoin, not just future departures. *)
+  let e = Engine.create ~seed:1 () in
+  let rng = Rng.create ~seed:2 in
+  let joins = ref 0 in
+  let c =
+    Churn.start e rng ~mean_lifetime:5.0 ~rejoin_delay:2.0 ~addrs:[ 0; 1; 2 ]
+      ~on_leave:(fun _ -> ())
+      ~on_join:(fun _ -> incr joins)
+      ()
+  in
+  Engine.run e ~until:20.0;
+  Churn.stop c;
+  let before = !joins in
+  Engine.run e ~until:500.0;
+  Alcotest.(check int) "no rejoins after stop" before !joins
+
 let prop_dist_sorted =
   QCheck.Test.make ~name:"dist sorted array is sorted & complete" ~count:200
     QCheck.(list (float_bound_exclusive 100.0))
@@ -751,9 +961,26 @@ let () =
           Alcotest.test_case "drop hook + timeout" `Quick test_pending_drop_hook_timeout_interplay;
           Alcotest.test_case "late response ignored" `Quick test_pending_late_response_ignored;
         ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "call and resolve" `Quick test_rpc_call_resolve;
+          Alcotest.test_case "retry then resolve" `Quick test_rpc_retry_then_resolve;
+          Alcotest.test_case "give-up after attempts" `Quick test_rpc_giveup_after_attempts;
+          Alcotest.test_case "deadline caps retries" `Quick test_rpc_deadline_caps_retries;
+          Alcotest.test_case "cap queues and drains" `Quick test_rpc_cap_queues_and_drains;
+          Alcotest.test_case "dead node retry give-up" `Quick test_rpc_dead_node_retry_giveup;
+        ]
+        @ qsuite
+            [
+              prop_rpc_backoff_monotone;
+              prop_rpc_schedule_deterministic;
+              prop_rpc_cancel_silent;
+              prop_rpc_cap_never_exceeded;
+            ] );
       ( "churn",
         [
           Alcotest.test_case "cycle" `Quick test_churn_cycle;
           Alcotest.test_case "stop" `Quick test_churn_stop;
+          Alcotest.test_case "stop suppresses rejoin" `Quick test_churn_stop_no_stray_rejoin;
         ] );
     ]
