@@ -168,7 +168,9 @@ let kernels =
    "Benchmarking"). The schema is flat on purpose so future PRs can diff
    perf trajectories without a JSON library. *)
 
-type row = { ns_per_op : float; minor_words_per_op : float }
+module Bench_compare = Octo_experiments.Bench_compare
+
+type row = Bench_compare.row = { ns_per_op : float; minor_words_per_op : float }
 
 let estimate_of results name =
   match Hashtbl.find_opt results name with
@@ -205,149 +207,6 @@ let write_json path rows =
   close_out oc;
   Printf.printf "wrote %s (%d kernels)\n" path (List.length rows)
 
-(* Minimal JSON reader for the schema [write_json] emits: an object
-   containing a "kernels" object of {name: {metric: number|null}}. Not a
-   general-purpose parser — just enough for [--compare]. *)
-let read_json path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  let pos = ref 0 in
-  let peek () = if !pos < len then Some src.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let fail msg = failwith (Printf.sprintf "%s: malformed bench json at byte %d: %s" path !pos msg) in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 32 in
-    let rec go () =
-      match peek () with
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some 'n' -> Buffer.add_char buf '\n'
-        | Some c -> Buffer.add_char buf c
-        | None -> fail "eof in string");
-        advance ();
-        go ()
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-      | None -> fail "eof in string"
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_scalar () =
-    skip_ws ();
-    let start = !pos in
-    let rec go () =
-      match peek () with
-      | Some ('-' | '+' | '.' | 'e' | 'E' | '0' .. '9' | 'a' .. 'd' | 'f' .. 'z') ->
-        advance ();
-        go ()
-      | _ -> ()
-    in
-    go ();
-    let tok = String.sub src start (!pos - start) in
-    if tok = "null" then Float.nan
-    else match float_of_string_opt tok with Some f -> f | None -> fail ("bad number " ^ tok)
-  in
-  let parse_metrics () =
-    expect '{';
-    let rec fields acc =
-      skip_ws ();
-      match peek () with
-      | Some '}' ->
-        advance ();
-        acc
-      | _ ->
-        let k = parse_string () in
-        expect ':';
-        let v = parse_scalar () in
-        skip_ws ();
-        (match peek () with Some ',' -> advance () | _ -> ());
-        fields ((k, v) :: acc)
-    in
-    fields []
-  in
-  let metric m fields = match List.assoc_opt m fields with Some v -> v | None -> Float.nan in
-  let rec parse_top acc =
-    skip_ws ();
-    match peek () with
-    | Some '}' | None -> acc
-    | _ ->
-      let k = parse_string () in
-      expect ':';
-      skip_ws ();
-      if k = "kernels" then begin
-        expect '{';
-        let rec kernels acc =
-          skip_ws ();
-          match peek () with
-          | Some '}' ->
-            advance ();
-            acc
-          | _ ->
-            let name = parse_string () in
-            expect ':';
-            let fields = parse_metrics () in
-            skip_ws ();
-            (match peek () with Some ',' -> advance () | _ -> ());
-            kernels
-              ((name, { ns_per_op = metric "ns_per_op" fields;
-                        minor_words_per_op = metric "minor_words_per_op" fields })
-               :: acc)
-        in
-        parse_top (kernels acc)
-      end
-      else begin
-        (* Skip a string, scalar, or (possibly nested) object we don't
-           care about. *)
-        (match peek () with
-        | Some '"' -> ignore (parse_string ())
-        | Some '{' ->
-          let depth = ref 0 in
-          let rec skip () =
-            match peek () with
-            | Some '{' ->
-              incr depth;
-              advance ();
-              skip ()
-            | Some '}' ->
-              decr depth;
-              advance ();
-              if !depth > 0 then skip ()
-            | Some _ ->
-              advance ();
-              skip ()
-            | None -> fail "eof in skipped object"
-          in
-          skip ()
-        | _ -> ignore (parse_scalar ()));
-        skip_ws ();
-        (match peek () with Some ',' -> advance () | _ -> ());
-        parse_top acc
-      end
-  in
-  expect '{';
-  List.rev (parse_top [])
-
 let print_comparison ~baseline_path baseline rows =
   Printf.printf "\n== Comparison against %s ==\n" baseline_path;
   Printf.printf "  %-36s %12s %12s %9s\n" "kernel" "base ns/op" "now ns/op" "speedup";
@@ -365,7 +224,29 @@ let print_comparison ~baseline_path baseline rows =
       if not (List.mem_assoc name rows) then Printf.printf "  %-36s (kernel removed)\n" name)
     baseline
 
-let run_bechamel ~json_out ~compare_with () =
+(* With --fail-above, a regression past the threshold turns into a
+   non-zero exit so CI can gate on it; the pairing/threshold policy lives
+   in Octo_experiments.Bench_compare where it is unit-tested. *)
+let gate_regressions ~fail_above ~baseline rows =
+  match fail_above with
+  | None -> ()
+  | Some pct ->
+    let ds = Bench_compare.deltas ~baseline ~current:rows in
+    let over = Bench_compare.regressions ~fail_above:pct ds in
+    List.iter
+      (fun d ->
+        Printf.printf "  REGRESSION %-36s %+.1f%% (%.0f -> %.0f ns/op, threshold %.1f%%)\n"
+          d.Bench_compare.kernel d.Bench_compare.pct d.Bench_compare.base_ns
+          d.Bench_compare.now_ns pct)
+      over;
+    let code = Bench_compare.exit_code ~fail_above:(Some pct) ds in
+    if code <> 0 then begin
+      Printf.eprintf "bench: %d kernel(s) regressed more than %.1f%%\n" (List.length over) pct;
+      exit code
+    end
+    else Printf.printf "  all %d paired kernels within %.1f%% of baseline\n" (List.length ds) pct
+
+let run_bechamel ~json_out ~compare_with ~fail_above () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
@@ -393,7 +274,10 @@ let run_bechamel ~json_out ~compare_with () =
   print_newline ();
   Option.iter (fun path -> write_json path rows) json_out;
   Option.iter
-    (fun path -> print_comparison ~baseline_path:path (read_json path) rows)
+    (fun path ->
+      let baseline = Bench_compare.read_file path in
+      print_comparison ~baseline_path:path baseline rows;
+      gate_regressions ~fail_above ~baseline rows)
     compare_with
 
 (* ------------------------------------------------------------------ *)
@@ -496,8 +380,22 @@ let () =
   in
   let json_out = flag_value "--json" in
   let compare_with = flag_value "--compare" in
+  let fail_above =
+    match flag_value "--fail-above" with
+    | None -> None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some pct when pct >= 0.0 -> Some pct
+      | _ ->
+        Printf.eprintf "bench: --fail-above expects a non-negative percentage, got %S\n" v;
+        exit 2)
+  in
+  if fail_above <> None && compare_with = None then begin
+    Printf.eprintf "bench: --fail-above requires --compare <baseline.json>\n";
+    exit 2
+  end;
   if check then run_checked ()
   else begin
-    if not skip_micro then run_bechamel ~json_out ~compare_with ();
+    if not skip_micro then run_bechamel ~json_out ~compare_with ~fail_above ();
     if not skip_repro then reproduce ()
   end

@@ -28,7 +28,7 @@ let rec pad n l =
 
 let mix lambda a b =
   let a = normalize a and b = normalize b in
-  let n = max (List.length a) (List.length b) in
+  let n = Int.max (List.length a) (List.length b) in
   let a = pad n a and b = pad n b in
   List.map2 (fun x y -> (lambda *. x) +. ((1.0 -. lambda) *. y)) a b
 

@@ -1,4 +1,5 @@
 module Rng = Octo_sim.Rng
+module Tbl = Octo_sim.Tbl
 
 type params = {
   alpha : float;
@@ -161,7 +162,7 @@ let initiator model ?(params = default_params) () =
              distance from its linkable queries to T. *)
           let own_min =
             List.fold_left
-              (fun acc q -> min acc (Ring_model.rank_distance_cw model q.rank t_rank))
+              (fun acc q -> Int.min acc (Ring_model.rank_distance_cw model q.rank t_rank))
               max_int linkable
           in
           let own_weight = Presim.xi presim own_min in
@@ -173,7 +174,7 @@ let initiator model ?(params = default_params) () =
               let k = 1 + Rng.int rng 3 in
               let dmin = ref max_int in
               for _ = 1 to k do
-                dmin := min !dmin (Rng.int rng n)
+                dmin := Int.min !dmin (Rng.int rng n)
               done;
               decoys := Presim.xi presim !dmin :: !decoys
             end
@@ -193,11 +194,13 @@ let initiator model ?(params = default_params) () =
 (* Entropy of a distribution given as (rank -> mass) plus a uniform
    remainder spread over [spread] ranks with total mass [rest]. *)
 let entropy_mixture masses ~rest ~spread =
-  let total = Hashtbl.fold (fun _ m acc -> acc +. m) masses 0.0 +. rest in
+  (* Rank-sorted traversal: float accumulation must not depend on bucket
+     order or the entropy figures wobble in the last bits across runs. *)
+  let total = Tbl.fold_sorted ~cmp:Int.compare (fun _ m acc -> acc +. m) masses 0.0 +. rest in
   if total <= 0.0 then 0.0
   else begin
     let h = ref 0.0 in
-    Hashtbl.iter
+    Tbl.iter_sorted ~cmp:Int.compare
       (fun _ m ->
         if m > 0.0 then begin
           let p = m /. total in

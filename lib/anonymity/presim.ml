@@ -14,7 +14,7 @@ let loc_cells = 32
 
 let loc_cell ~loc ~size =
   let frac = float_of_int (loc - 1) /. float_of_int (max 1 size) in
-  min (loc_cells - 1) (int_of_float (frac *. float_of_int loc_cells))
+  Int.min (loc_cells - 1) (int_of_float (frac *. float_of_int loc_cells))
 
 let normalize arr =
   let total = Array.fold_left ( +. ) 0.0 arr in
@@ -39,7 +39,7 @@ let build model ?(samples = 3000) ~p_link ~num_dummies:_ () =
     | _ ->
       let dmin =
         List.fold_left
-          (fun acc r -> min acc (Ring_model.rank_distance_cw model r target))
+          (fun acc r -> Int.min acc (Ring_model.rank_distance_cw model r target))
           max_int linkable
       in
       xi_hist.(dist_bucket dmin) <- xi_hist.(dist_bucket dmin) +. 1.0;

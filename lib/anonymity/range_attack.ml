@@ -43,7 +43,7 @@ let largest_hop model subset =
         let gap =
           Id.distance_cw space (Ring_model.id_of model prev) (Ring_model.id_of model r)
         in
-        max_gap r (max acc gap) tl
+        max_gap r (Int.max acc gap) tl
     in
     (match path with [] -> 0 | p :: tl -> max_gap p 0 tl)
 

@@ -24,7 +24,9 @@ let lookup net ~from ~key ?(redundancy = 4) k =
   in
   let finish () =
     let best = ref None in
-    Hashtbl.iter
+    (* Id-sorted traversal: plurality ties resolve to the lowest peer id
+       instead of whichever bucket the hash happened to visit first. *)
+    Octo_sim.Tbl.iter_sorted ~cmp:Int.compare
       (fun _ (p, count) ->
         match !best with
         | Some (_, bc) when bc >= count -> ()

@@ -500,7 +500,7 @@ let investigate_dos w ~(reporter : Peer.t) ~relays ~cid ~sent_at k =
                  s.Types.ws_cid = cid
                  && Peer.equal s.Types.ws_target about
                  && World.verify_statement w s)
-               (List.sort_uniq compare stmts))
+               (List.sort_uniq Types.compare_statement stmts))
         | None -> 0
       in
       let dbg tag addr =

@@ -143,6 +143,7 @@ let send t ~src ~dst msg =
   let size = Types.size msg in
   if Trace.on () then
     Trace.emit ~time:(now t) ~node:src (Trace.Msg { kind = Types.kind msg; dst; size });
+  (* octolint: allow no-raw-send — this is the one sanctioned wrapper. *)
   Net.send t.net ~src ~dst ~size msg
 
 let rpc_policy t ?timeout ?attempts () =

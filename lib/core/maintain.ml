@@ -155,7 +155,11 @@ let do_lookup w (node : World.node) =
 let gc w (node : World.node) =
   let horizon = World.now w -. w.World.cfg.Config.gc_horizon in
   let prune_old table keep =
-    let stale = Hashtbl.fold (fun k v acc -> if keep v then acc else k :: acc) table [] in
+    let stale =
+      Octo_sim.Tbl.fold_sorted ~cmp:Int.compare
+        (fun k v acc -> if keep v then acc else k :: acc)
+        table []
+    in
     List.iter (Hashtbl.remove table) stale
   in
   prune_old node.World.back_routes (fun r -> r.World.br_at >= horizon);

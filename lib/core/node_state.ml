@@ -114,11 +114,13 @@ let update_preds node ~now peers =
     (Rtable.preds node.rt);
   (* Forget entries that fell out so a readmission restarts the clock. *)
   let current = Rtable.preds node.rt in
-  Hashtbl.iter
+  (* [iter_sorted] snapshots before visiting, so removing while iterating
+     is safe without the [Hashtbl.copy] the raw iter needed. *)
+  Octo_sim.Tbl.iter_sorted ~cmp:Int.compare
     (fun addr _ ->
       if not (List.exists (fun p -> p.Peer.addr = addr) current) then
         Hashtbl.remove node.pred_since addr)
-    (Hashtbl.copy node.pred_since)
+    node.pred_since
 
 (* Evict a peer only after repeated timeouts within a short window: a
    single slow round trip must not drop a live neighbor (it races the CA's

@@ -65,14 +65,14 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
       }
   in
   let best_candidate () =
-    Hashtbl.fold
-      (fun _ p acc ->
-        if Hashtbl.mem tried p.Peer.addr then acc
-        else begin
-          let d = Id.distance_cw space p.Peer.id key in
-          match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (p, d)
-        end)
-      candidates None
+    match
+      Octo_sim.Tbl.min_by ~cmp:Int.compare
+        ~skip:(fun _ p -> Hashtbl.mem tried p.Peer.addr)
+        ~score:(fun _ p -> Id.distance_cw space p.Peer.id key)
+        candidates
+    with
+    | Some (_, p, d) -> Some (p, d)
+    | None -> None
   in
   let rec step () =
     if !hops >= max_hops || not node.World.alive then finish None

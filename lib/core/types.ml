@@ -151,6 +151,20 @@ type witness_statement = {
   ws_sig : Keys.signature;
 }
 
+(* A statement is identified by (witness, target, cid, time): the
+   signature is a deterministic function of those via [statement_digest],
+   so field-wise ordering both dedupes exact duplicates and avoids
+   polymorphic compare on the abstract signature. *)
+let compare_statement a b =
+  let c = Peer.compare a.ws_witness b.ws_witness in
+  if c <> 0 then c
+  else
+    let c = Peer.compare a.ws_target b.ws_target in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.ws_cid b.ws_cid in
+      if c <> 0 then c else Float.compare a.ws_time b.ws_time
+
 let statement_digest ~witness ~target ~cid ~time =
   Wire.digest_parts
     [

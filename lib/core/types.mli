@@ -112,6 +112,10 @@ type witness_statement = {
   ws_sig : Octo_crypto.Keys.signature;
 }
 
+val compare_statement : witness_statement -> witness_statement -> int
+(** Field-wise order on (witness, target, cid, time) — the identity of a
+    statement; the signature is a deterministic function of these. *)
+
 val statement_digest : witness:Peer.t -> target:Peer.t -> cid:int -> time:float -> bytes
 
 type msg =

@@ -113,7 +113,7 @@ let update ctx data =
   (* Fill a partial block first. *)
   if ctx.buf_len > 0 then begin
     let need = 64 - ctx.buf_len in
-    let take = min need len in
+    let take = Int.min need len in
     Bytes.blit data 0 ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
     pos := take;

@@ -1,0 +1,204 @@
+(* Comparison and regression gating over BENCH_*.json files.
+
+   The bench harness (bench/main.ml) writes a flat octopus-bench/v1 JSON
+   document; this module reads it back, pairs kernels between a baseline
+   and a current run, and decides whether the run regressed past a
+   threshold — the pure logic behind `bench --compare --fail-above`, kept
+   in a library so the exit-code policy is unit-testable without timing
+   anything. *)
+
+type row = { ns_per_op : float; minor_words_per_op : float }
+
+type delta = {
+  kernel : string;
+  base_ns : float;
+  now_ns : float;
+  pct : float;  (* (now - base) / base * 100; positive = slower *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reading the octopus-bench/v1 schema: an object containing a "kernels"
+   object of {name: {metric: number|null}}. Not a general-purpose JSON
+   parser — just enough for the schema [bench/main.ml] emits. *)
+
+let parse ~path src =
+  let len = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let fail msg =
+    failwith (Printf.sprintf "%s: malformed bench json at byte %d: %s" path !pos msg)
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when Char.equal c' c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> fail "eof in string");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+      | None -> fail "eof in string"
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_scalar () =
+    skip_ws ();
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some ('-' | '+' | '.' | 'e' | 'E' | '0' .. '9' | 'a' .. 'd' | 'f' .. 'z') ->
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub src start (!pos - start) in
+    if String.equal tok "null" then Float.nan
+    else match float_of_string_opt tok with Some f -> f | None -> fail ("bad number " ^ tok)
+  in
+  let parse_metrics () =
+    expect '{';
+    let rec fields acc =
+      skip_ws ();
+      match peek () with
+      | Some '}' ->
+        advance ();
+        acc
+      | _ ->
+        let k = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        skip_ws ();
+        (match peek () with Some ',' -> advance () | _ -> ());
+        fields ((k, v) :: acc)
+    in
+    fields []
+  in
+  let metric m fields = match List.assoc_opt m fields with Some v -> v | None -> Float.nan in
+  let rec parse_top acc =
+    skip_ws ();
+    match peek () with
+    | Some '}' | None -> acc
+    | _ ->
+      let k = parse_string () in
+      expect ':';
+      skip_ws ();
+      if String.equal k "kernels" then begin
+        expect '{';
+        let rec kernels acc =
+          skip_ws ();
+          match peek () with
+          | Some '}' ->
+            advance ();
+            acc
+          | _ ->
+            let name = parse_string () in
+            expect ':';
+            let fields = parse_metrics () in
+            skip_ws ();
+            (match peek () with Some ',' -> advance () | _ -> ());
+            kernels
+              ((name, { ns_per_op = metric "ns_per_op" fields;
+                        minor_words_per_op = metric "minor_words_per_op" fields })
+               :: acc)
+        in
+        parse_top (kernels acc)
+      end
+      else begin
+        (* Skip a string, scalar, or (possibly nested) object we don't
+           care about. *)
+        (match peek () with
+        | Some '"' -> ignore (parse_string ())
+        | Some '{' ->
+          let depth = ref 0 in
+          let rec skip () =
+            match peek () with
+            | Some '{' ->
+              incr depth;
+              advance ();
+              skip ()
+            | Some '}' ->
+              decr depth;
+              advance ();
+              if !depth > 0 then skip ()
+            | Some _ ->
+              advance ();
+              skip ()
+            | None -> fail "eof in skipped object"
+          in
+          skip ()
+        | _ -> ignore (parse_scalar ()));
+        skip_ws ();
+        (match peek () with Some ',' -> advance () | _ -> ());
+        parse_top acc
+      end
+  in
+  expect '{';
+  List.rev (parse_top [])
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~path src
+
+(* ------------------------------------------------------------------ *)
+(* Pairing and gating *)
+
+let deltas ~baseline ~current =
+  List.filter_map
+    (fun (kernel, now) ->
+      match List.assoc_opt kernel baseline with
+      | None -> None (* new kernel: nothing to regress against *)
+      | Some base ->
+        if Float.is_nan base.ns_per_op || Float.is_nan now.ns_per_op || base.ns_per_op <= 0.0
+        then None
+        else
+          Some
+            {
+              kernel;
+              base_ns = base.ns_per_op;
+              now_ns = now.ns_per_op;
+              pct = (now.ns_per_op -. base.ns_per_op) /. base.ns_per_op *. 100.0;
+            })
+    current
+
+let regressions ~fail_above ds = List.filter (fun d -> d.pct > fail_above) ds
+
+let worst = function
+  | [] -> None
+  | d :: ds -> Some (List.fold_left (fun a b -> if b.pct > a.pct then b else a) d ds)
+
+(* The CLI contract for `bench --compare B --fail-above P`: exit 0 when
+   every paired kernel is within P percent of its baseline ns/op, exit 3
+   when any exceeds it (distinct from exit 1/2 so harness failures and
+   regressions are distinguishable in CI logs). *)
+let exit_code ~fail_above ds =
+  match fail_above with
+  | None -> 0
+  | Some pct -> if regressions ~fail_above:pct ds = [] then 0 else 3

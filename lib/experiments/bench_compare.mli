@@ -1,0 +1,39 @@
+(** Reading BENCH_*.json files and gating on perf regressions.
+
+    The pure logic behind [bench --compare --fail-above]: parse the
+    octopus-bench/v1 schema, pair kernels between a baseline and the
+    current run, and decide the process exit code — kept out of
+    [bench/main.ml] so the policy is unit-testable without timing
+    anything. *)
+
+type row = { ns_per_op : float; minor_words_per_op : float }
+
+type delta = {
+  kernel : string;
+  base_ns : float;
+  now_ns : float;
+  pct : float;  (** (now - base) / base * 100; positive = slower *)
+}
+
+val parse : path:string -> string -> (string * row) list
+(** [parse ~path src] reads an octopus-bench/v1 document from [src];
+    [path] only labels error messages. Raises [Failure] on malformed
+    input. *)
+
+val read_file : string -> (string * row) list
+(** [parse] applied to a file's contents. *)
+
+val deltas : baseline:(string * row) list -> current:(string * row) list -> delta list
+(** Pair current kernels with baseline rows by name. Kernels missing
+    from the baseline, or with NaN/degenerate timings on either side,
+    are skipped — they carry no regression signal. *)
+
+val regressions : fail_above:float -> delta list -> delta list
+(** Deltas slower than [fail_above] percent. *)
+
+val worst : delta list -> delta option
+(** The largest regression (most positive [pct]), if any deltas paired. *)
+
+val exit_code : fail_above:float option -> delta list -> int
+(** [0] when no threshold was requested or every delta is within it;
+    [3] when any kernel regressed past [fail_above]. *)

@@ -54,7 +54,7 @@ let pool_cap = 256
 let release t env =
   if t.pool_len < pool_cap then begin
     if t.pool_len >= Array.length t.pool then begin
-      let grown = Array.make (min pool_cap (max 16 (2 * Array.length t.pool))) env in
+      let grown = Array.make (Int.min pool_cap (max 16 (2 * Array.length t.pool))) env in
       Array.blit t.pool 0 grown 0 t.pool_len;
       t.pool <- grown
     end;

@@ -108,7 +108,7 @@ let shuffle t arr =
 
 let sample t ~k arr =
   let n = Array.length arr in
-  let k = min k n in
+  let k = Int.min k n in
   let copy = Array.copy arr in
   (* Partial Fisher-Yates: first [k] slots are the sample. *)
   for i = 0 to k - 1 do

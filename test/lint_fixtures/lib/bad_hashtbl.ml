@@ -1,0 +1,12 @@
+(* D3 fixtures: unordered Hashtbl traversal in lib/. *)
+
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+let dump tbl f = Hashtbl.iter f tbl
+
+(* membership and point lookups are fine *)
+let lookup tbl k = Hashtbl.find_opt tbl k
+
+(* the sanctioned-wrapper idiom: standalone comment covers the next line *)
+let sanctioned tbl f =
+  (* octolint: allow ordered-iteration — wrapper under test *)
+  Hashtbl.iter f tbl

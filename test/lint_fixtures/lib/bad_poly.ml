@@ -1,0 +1,30 @@
+(* D1 fixtures: polymorphic comparisons in lib/. Never compiled —
+   [data_only_dirs] keeps dune away; octolint parses it directly. *)
+
+(* bare [compare] escaping as a sort comparator *)
+let sort_ids l = List.sort compare l
+
+(* min/max on non-literal operands *)
+let clamp a b = min a b
+let widest a b = max a b
+
+(* structural equality on inline composites *)
+let pair_flip_eq a b = (a, b) = (b, a)
+let both_some x y = Some x = Some y
+
+(* exempt forms: literals and simple operands stay quiet *)
+let is_origin x = x = 0
+let before x y = x < y
+let at_least_one x = min x 1
+
+(* suppressed twins of each flagged form *)
+let clamp_ok a b =
+  (* octolint: allow no-poly-compare *)
+  min a b
+
+let sort_ok l = List.sort compare l (* octolint: allow no-poly-compare *)
+
+(* one comment can name several rules *)
+let multi tbl =
+  (* octolint: allow no-poly-compare ordered-iteration *)
+  Hashtbl.fold (fun k _ acc -> min k acc) tbl max_int

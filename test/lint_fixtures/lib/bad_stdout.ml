@@ -1,0 +1,11 @@
+(* D5 fixtures: stdout from lib/. *)
+
+let shout msg = print_endline msg
+let banner () = print_string "octopus"
+let fmt_row x = Printf.printf "%d\n" x
+let fmt_fmt x = Format.printf "%d@." x
+
+(* building strings is fine; only writing stdout is banned *)
+let row x = Printf.sprintf "%d" x
+
+let debug_escape msg = print_endline msg (* octolint: allow no-stdout-in-lib *)

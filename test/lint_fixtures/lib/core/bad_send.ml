@@ -1,0 +1,11 @@
+(* D4 fixtures: raw sends from a lib/core protocol module. *)
+
+let raw net ~src ~dst msg = Net.send net ~src ~dst msg
+let raw_chord net ~src ~dst msg = Network.send net ~src ~dst msg
+
+(* receiving is not sending *)
+let register net f = Net.register net f
+
+let wrapper net ~src ~dst msg =
+  (* octolint: allow no-raw-send *)
+  Net.send net ~src ~dst msg

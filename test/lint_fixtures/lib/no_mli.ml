@@ -1,0 +1,2 @@
+(* D6 fixture: a lib/ module with no sibling interface file. *)
+let exposed_everything = 42

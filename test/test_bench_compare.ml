@@ -1,0 +1,96 @@
+(* Tests for the bench --compare / --fail-above policy: JSON round-trip
+   through the octopus-bench/v1 schema, delta pairing, and the exit-code
+   contract CI gates on. *)
+
+open Octo_experiments
+
+let row ns = { Bench_compare.ns_per_op = ns; minor_words_per_op = 0.0 }
+
+let sample_json =
+  {|{
+  "schema": "octopus-bench/v1",
+  "kernels": {
+    "a/fast": { "ns_per_op": 100.0, "minor_words_per_op": 12.0 },
+    "b/slow": { "ns_per_op": 2000.5, "minor_words_per_op": null },
+    "c/new": { "ns_per_op": 7.25, "minor_words_per_op": 1.0 }
+  }
+}|}
+
+let test_parse () =
+  let rows = Bench_compare.parse ~path:"sample" sample_json in
+  Alcotest.(check int) "three kernels" 3 (List.length rows);
+  let a = List.assoc "a/fast" rows in
+  Alcotest.(check (float 1e-9)) "ns" 100.0 a.Bench_compare.ns_per_op;
+  Alcotest.(check (float 1e-9)) "words" 12.0 a.Bench_compare.minor_words_per_op;
+  let b = List.assoc "b/slow" rows in
+  Alcotest.(check bool) "null -> nan" true (Float.is_nan b.Bench_compare.minor_words_per_op)
+
+let test_parse_malformed () =
+  Alcotest.check_raises "truncated" (Failure "sample: malformed bench json at byte 12: expected :")
+    (fun () -> ignore (Bench_compare.parse ~path:"sample" {|{ "kernels" "oops" }|}))
+
+let test_deltas_pairing () =
+  let baseline = [ ("k1", row 100.0); ("k2", row 50.0); ("gone", row 10.0) ] in
+  let current = [ ("k1", row 110.0); ("k2", row 40.0); ("new", row 5.0) ] in
+  let ds = Bench_compare.deltas ~baseline ~current in
+  Alcotest.(check int) "only paired kernels" 2 (List.length ds);
+  let d1 = List.find (fun d -> d.Bench_compare.kernel = "k1") ds in
+  Alcotest.(check (float 1e-9)) "k1 +10%" 10.0 d1.Bench_compare.pct;
+  let d2 = List.find (fun d -> d.Bench_compare.kernel = "k2") ds in
+  Alcotest.(check (float 1e-9)) "k2 -20%" (-20.0) d2.Bench_compare.pct
+
+let test_deltas_skip_nan () =
+  let baseline = [ ("k", row Float.nan); ("z", row 0.0) ] in
+  let current = [ ("k", row 10.0); ("z", row 10.0) ] in
+  Alcotest.(check int) "nan and zero baselines skipped" 0
+    (List.length (Bench_compare.deltas ~baseline ~current))
+
+let test_worst () =
+  let baseline = [ ("k1", row 100.0); ("k2", row 100.0) ] in
+  let current = [ ("k1", row 130.0); ("k2", row 90.0) ] in
+  match Bench_compare.worst (Bench_compare.deltas ~baseline ~current) with
+  | Some d ->
+    Alcotest.(check string) "worst kernel" "k1" d.Bench_compare.kernel;
+    Alcotest.(check (float 1e-9)) "worst pct" 30.0 d.Bench_compare.pct
+  | None -> Alcotest.fail "expected a worst delta"
+
+(* The exit-code contract: 0 without a threshold or within it, 3 past it.
+   This is exactly what `bench --compare --fail-above` returns to CI. *)
+let test_exit_code () =
+  let baseline = [ ("k1", row 100.0); ("k2", row 100.0) ] in
+  let current = [ ("k1", row 104.9); ("k2", row 95.0) ] in
+  let ds = Bench_compare.deltas ~baseline ~current in
+  Alcotest.(check int) "no threshold -> 0" 0 (Bench_compare.exit_code ~fail_above:None ds);
+  Alcotest.(check int) "within 5%% -> 0" 0 (Bench_compare.exit_code ~fail_above:(Some 5.0) ds);
+  Alcotest.(check int) "past 1%% -> 3" 3 (Bench_compare.exit_code ~fail_above:(Some 1.0) ds);
+  let regressed = Bench_compare.deltas ~baseline ~current:[ ("k1", row 150.0) ] in
+  Alcotest.(check int) "50%% past 10%% -> 3" 3
+    (Bench_compare.exit_code ~fail_above:(Some 10.0) regressed);
+  (* An improvement is never a regression, whatever the threshold. *)
+  let improved = Bench_compare.deltas ~baseline ~current:[ ("k1", row 10.0) ] in
+  Alcotest.(check int) "faster -> 0" 0 (Bench_compare.exit_code ~fail_above:(Some 0.0) improved)
+
+let test_threshold_boundary () =
+  let ds = Bench_compare.deltas ~baseline:[ ("k", row 100.0) ] ~current:[ ("k", row 110.0) ] in
+  (* strictly-above semantics: exactly at the threshold passes *)
+  Alcotest.(check int) "at threshold -> 0" 0 (Bench_compare.exit_code ~fail_above:(Some 10.0) ds);
+  Alcotest.(check int) "just below threshold -> 3" 3
+    (Bench_compare.exit_code ~fail_above:(Some 9.999) ds)
+
+let () =
+  Alcotest.run "bench_compare"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "schema round-trip" `Quick test_parse;
+          Alcotest.test_case "malformed input" `Quick test_parse_malformed;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "delta pairing" `Quick test_deltas_pairing;
+          Alcotest.test_case "nan/zero skipped" `Quick test_deltas_skip_nan;
+          Alcotest.test_case "worst delta" `Quick test_worst;
+          Alcotest.test_case "exit codes" `Quick test_exit_code;
+          Alcotest.test_case "threshold boundary" `Quick test_threshold_boundary;
+        ] );
+    ]

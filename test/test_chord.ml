@@ -449,8 +449,12 @@ let prop_covers_agrees_with_ownership =
       match Rtable.covers rt ~key with
       | None -> true
       | Some owner ->
-        (* No retained successor lies strictly between the key and the
-           returned owner. *)
+        (* A successor whose id is exactly the key owns it outright; the
+           strictly-between check below cannot express that case because
+           (n, n) means "the whole ring minus n" by ring convention. *)
+        owner.Peer.id = key
+        || (* No retained successor lies strictly between the key and the
+              returned owner. *)
         List.for_all
           (fun p ->
             not (Id.between_open space16 p.Peer.id ~lo:key ~hi:owner.Peer.id))

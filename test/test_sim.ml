@@ -878,6 +878,65 @@ let prop_series_cumulative_monotone =
       in
       monotone (Metrics.Series.cumulative s))
 
+(* ------------------------------------------------------------------ *)
+(* Tbl: deterministic hash-table traversal *)
+
+let test_tbl_iter_sorted_order () =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace tbl k (k * 10)) [ 42; 3; 17; 99; 0; 8 ];
+  let seen = ref [] in
+  Tbl.iter_sorted ~cmp:Int.compare (fun k v -> seen := (k, v) :: !seen) tbl;
+  Alcotest.(check (list (pair int int)))
+    "ascending key order"
+    [ (0, 0); (3, 30); (8, 80); (17, 170); (42, 420); (99, 990) ]
+    (List.rev !seen)
+
+let test_tbl_fold_matches_reference () =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace tbl k (string_of_int k)) [ 5; 1; 9; 2 ];
+  let folded = Tbl.fold_sorted ~cmp:Int.compare (fun _ v acc -> acc ^ v) tbl "" in
+  Alcotest.(check string) "fold visits keys ascending" "1259" folded;
+  Alcotest.(check (list int)) "keys_sorted" [ 1; 2; 5; 9 ] (Tbl.keys_sorted ~cmp:Int.compare tbl)
+
+let test_tbl_remove_during_iter () =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) [ 1; 2; 3; 4; 5 ];
+  (* The snapshot makes removal during traversal safe — the PR4 sweep
+     relies on this at the node_state pred_since site. *)
+  Tbl.iter_sorted ~cmp:Int.compare (fun k () -> if k mod 2 = 0 then Hashtbl.remove tbl k) tbl;
+  Alcotest.(check (list int)) "odd keys survive" [ 1; 3; 5 ] (Tbl.keys_sorted ~cmp:Int.compare tbl)
+
+let test_tbl_min_by () =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) [ (1, 30); (2, 10); (3, 20); (4, 10) ];
+  let never _ _ = false in
+  (match Tbl.min_by ~cmp:Int.compare ~skip:never ~score:(fun _ v -> v) tbl with
+  | Some (k, v, s) ->
+    (* Ties on score (keys 2 and 4 both score 10) go to the smaller key. *)
+    Alcotest.(check (triple int int int)) "tie -> smallest key" (2, 10, 10) (k, v, s)
+  | None -> Alcotest.fail "expected a minimum");
+  (match
+     Tbl.min_by ~cmp:Int.compare ~skip:(fun _ v -> v <= 10) ~score:(fun _ v -> v) tbl
+   with
+  | Some (k, _, _) -> Alcotest.(check int) "filtered minimum" 3 k
+  | None -> Alcotest.fail "expected a minimum");
+  Alcotest.(check bool) "all skipped -> none" true
+    (Tbl.min_by ~cmp:Int.compare ~skip:(fun _ _ -> true) ~score:(fun _ v -> v) tbl = None)
+
+(* The determinism contract: traversal order depends only on the key set,
+   never on insertion order or resize history. *)
+let prop_tbl_order_insertion_independent =
+  QCheck.Test.make ~name:"tbl traversal independent of insertion order" ~count:200
+    QCheck.(list small_nat)
+    (fun keys ->
+      let build ks =
+        let tbl = Hashtbl.create 1 in
+        List.iter (fun k -> Hashtbl.replace tbl k k) ks;
+        Tbl.fold_sorted ~cmp:Int.compare (fun k _ acc -> k :: acc) tbl []
+      in
+      build keys = build (List.rev keys)
+      && build keys = List.rev (List.sort_uniq Int.compare keys))
+
 let test_latency_deterministic () =
   let l1 = make_latency () and l2 = make_latency () in
   for i = 0 to 50 do
@@ -947,6 +1006,14 @@ let () =
           Alcotest.test_case "table render" `Quick test_table_render;
         ]
         @ qsuite [ prop_dist_sorted; prop_series_cumulative_monotone ] );
+      ( "tbl",
+        [
+          Alcotest.test_case "iter_sorted ascending" `Quick test_tbl_iter_sorted_order;
+          Alcotest.test_case "fold/keys reference" `Quick test_tbl_fold_matches_reference;
+          Alcotest.test_case "remove during iter" `Quick test_tbl_remove_during_iter;
+          Alcotest.test_case "min_by selection" `Quick test_tbl_min_by;
+        ]
+        @ qsuite [ prop_tbl_order_insertion_independent ] );
       ( "net",
         [
           Alcotest.test_case "delivery" `Quick test_net_delivery;

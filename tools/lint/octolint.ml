@@ -1,0 +1,551 @@
+(* octolint — determinism & layering linter for the Octopus reproduction.
+
+   The repo's load-bearing guarantee is bit-identical traces across runs:
+   the CI trace-determinism job byte-compares two same-seed JSONL streams,
+   and every security/anonymity figure reproduced from the paper leans on
+   it. That guarantee decays one innocent-looking patch at a time — a
+   [Hashtbl.iter] feeding a metric, a [Random.float] jitter, a stray
+   [Printf.printf] — so this tool makes the discipline a compile-time
+   contract instead of a code-review convention.
+
+   It is a plain parse-tree pass ([Parse] + [Ast_iterator] from
+   compiler-libs.common; no ppx, no typing, no new opam deps) over every
+   .ml/.mli handed to it, reporting [file:line:col] diagnostics and
+   exiting non-zero on any violation.
+
+   Rules (path-scoped; each can be disabled on the CLI or suppressed
+   per line with an [(* octolint: allow <rule> *)] comment):
+
+     D1 no-poly-compare   bare [compare]/[min]/[max] and structural
+                          operands under [=]/[<]/... in lib/
+     D2 no-wallclock-rng  [Random.*], [Sys.time], [Unix.gettimeofday]
+                          anywhere — randomness flows through Octo_sim.Rng
+     D3 ordered-iteration [Hashtbl.iter]/[Hashtbl.fold] in lib/ — use
+                          Octo_sim.Tbl.iter_sorted/fold_sorted
+     D4 no-raw-send       [Net.send]/[Network.send] in lib/core — protocol
+                          traffic rides Octo_sim.Rpc / Deployment.send
+     D5 no-stdout-in-lib  [print_*]/[Printf.printf]/[Format.printf] in
+                          lib/ — output goes through Trace/Metrics/Report
+     D6 mli-required      every lib/**/*.ml needs a sibling .mli
+
+   A suppression comment covers diagnostics on its own line; when the
+   comment sits alone on its line it also covers the next line, so
+
+       (* octolint: allow ordered-iteration — sanctioned wrapper *)
+       Hashtbl.fold ...
+
+   reads naturally at the one place each rule's escape hatch lives. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+module Rule = struct
+  type t = D1 | D2 | D3 | D4 | D5 | D6
+
+  let all = [ D1; D2; D3; D4; D5; D6 ]
+  let code = function D1 -> "D1" | D2 -> "D2" | D3 -> "D3" | D4 -> "D4" | D5 -> "D5" | D6 -> "D6"
+
+  let slug = function
+    | D1 -> "no-poly-compare"
+    | D2 -> "no-wallclock-rng"
+    | D3 -> "ordered-iteration"
+    | D4 -> "no-raw-send"
+    | D5 -> "no-stdout-in-lib"
+    | D6 -> "mli-required"
+
+  let describe = function
+    | D1 -> "polymorphic compare/min/max (and structural =) in lib/; use Int.compare etc."
+    | D2 -> "wall-clock or ambient RNG; draw from Octo_sim.Rng streams instead"
+    | D3 -> "unordered Hashtbl traversal in lib/; use Octo_sim.Tbl.{iter,fold}_sorted"
+    | D4 -> "raw Net/Network send in lib/core; protocol traffic uses Octo_sim.Rpc"
+    | D5 -> "stdout from lib/; emit through Trace, Metrics or Report"
+    | D6 -> "lib/ module without an interface file (.mli)"
+
+  let of_string s =
+    match String.lowercase_ascii s with
+    | "d1" | "no-poly-compare" -> Some D1
+    | "d2" | "no-wallclock-rng" -> Some D2
+    | "d3" | "ordered-iteration" -> Some D3
+    | "d4" | "no-raw-send" -> Some D4
+    | "d5" | "no-stdout-in-lib" -> Some D5
+    | "d6" | "mli-required" -> Some D6
+    | _ -> None
+
+  let compare_rule a b = String.compare (code a) (code b)
+end
+
+type diag = { file : string; line : int; col : int; rule : Rule.t; msg : string }
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments.
+
+   The parse tree drops comments, so we scan the raw source once with a
+   small lexer that understands nested comments, string literals (also
+   inside comments, as the real lexer does), quoted strings and char
+   literals. Each [(* octolint: allow r1 r2 *)] yields the set of rules
+   suppressed on the comment's first line — plus the following line when
+   the comment stands alone on its line(s). "all" suppresses every rule. *)
+
+module Suppress = struct
+  type t = (int, Rule.t list option) Hashtbl.t
+  (* line -> Some rules | None meaning "all" *)
+
+  let tokenize text =
+    String.split_on_char ' ' (String.map (fun c -> if c = ',' || c = '\t' || c = '\n' then ' ' else c) text)
+    |> List.filter (fun s -> s <> "")
+
+  (* Parse a comment body; [Some rules]/[Some []] distinction matters:
+     a comment that says "octolint: allow" with no recognisable rule is
+     reported as a broken suppression rather than silently ignored. *)
+  let parse_comment text =
+    match tokenize text with
+    | "octolint:" :: "allow" :: rest | "octolint" :: ":" :: "allow" :: rest ->
+      let rec take acc = function
+        | tok :: more -> (
+          if String.lowercase_ascii tok = "all" then `All
+          else
+            match Rule.of_string tok with
+            | Some r -> take (r :: acc) more
+            | None -> if acc = [] then `Broken else `Rules acc)
+        | [] -> if acc = [] then `Broken else `Rules acc
+      in
+      Some (take [] rest)
+    | _ -> None
+
+  let line_is_blank_before src ~bol ~pos =
+    let rec go i = i >= pos || ((src.[i] = ' ' || src.[i] = '\t') && go (i + 1)) in
+    go bol
+
+  let line_is_blank_after src ~pos =
+    let n = String.length src in
+    let rec go i = i >= n || src.[i] = '\n' || ((src.[i] = ' ' || src.[i] = '\t') && go (i + 1)) in
+    go pos
+
+  let add tbl line rules =
+    let merged =
+      match (Hashtbl.find_opt tbl line, rules) with
+      | Some None, _ | _, None -> None
+      | Some (Some old), Some more -> Some (old @ more)
+      | None, Some r -> Some r
+    in
+    Hashtbl.replace tbl line merged
+
+  (* Scan [src], returning the suppression table and any broken
+     suppression comments as (line, col) pairs. *)
+  let scan src =
+    let tbl : t = Hashtbl.create 8 in
+    let broken = ref [] in
+    let n = String.length src in
+    let line = ref 1 in
+    let bol = ref 0 in
+    let i = ref 0 in
+    let bump_line at = incr line; bol := at + 1 in
+    let skip_string () =
+      (* assumes src.[!i] = '"' *)
+      incr i;
+      let rec go () =
+        if !i < n then begin
+          (match src.[!i] with
+          | '\\' -> incr i
+          | '"' -> raise Exit
+          | '\n' -> bump_line !i
+          | _ -> ());
+          incr i;
+          go ()
+        end
+      in
+      (try go () with Exit -> ());
+      incr i
+    in
+    let skip_quoted_string () =
+      (* {id|...|id} ; assumes src.[!i] = '{' and it opens a quoted string *)
+      let start = !i + 1 in
+      let rec ident j = if j < n && (src.[j] = '_' || (src.[j] >= 'a' && src.[j] <= 'z')) then ident (j + 1) else j in
+      let id_end = ident start in
+      if id_end < n && src.[id_end] = '|' then begin
+        let id = String.sub src start (id_end - start) in
+        let closing = "|" ^ id ^ "}" in
+        let m = String.length closing in
+        i := id_end + 1;
+        let rec go () =
+          if !i + m <= n then
+            if String.sub src !i m = closing then i := !i + m
+            else begin
+              if src.[!i] = '\n' then bump_line !i;
+              incr i;
+              go ()
+            end
+          else i := n
+        in
+        go ();
+        true
+      end
+      else false
+    in
+    let rec skip_comment ~depth buf =
+      (* assumes we're just past an opening "(*" *)
+      if !i >= n then ()
+      else if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+        Buffer.add_string buf "(*";
+        i := !i + 2;
+        skip_comment ~depth:(depth + 1) buf
+      end
+      else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+        i := !i + 2;
+        if depth > 0 then begin
+          Buffer.add_string buf "*)";
+          skip_comment ~depth:(depth - 1) buf
+        end
+      end
+      else begin
+        (match src.[!i] with
+        | '"' ->
+          Buffer.add_char buf ' ';
+          skip_string ();
+          i := !i - 1 (* skip_string advanced past the quote; realign with the incr below *)
+        | '\n' -> bump_line !i; Buffer.add_char buf ' '
+        | c -> Buffer.add_char buf c);
+        incr i;
+        skip_comment ~depth buf
+      end
+    in
+    while !i < n do
+      match src.[!i] with
+      | '\n' -> bump_line !i; incr i
+      | '"' -> skip_string ()
+      | '{' -> if not (skip_quoted_string ()) then incr i
+      | '\'' ->
+        (* char literal vs type variable / attribute payload quote *)
+        if !i + 1 < n && src.[!i + 1] = '\\' then begin
+          (* '\n' '\123' '\xFF' — skip to the closing quote *)
+          i := !i + 2;
+          while !i < n && src.[!i] <> '\'' do incr i done;
+          incr i
+        end
+        else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3
+        else incr i
+      | '(' when !i + 1 < n && src.[!i + 1] = '*' ->
+        let c_line = !line and c_bol = !bol and c_start = !i in
+        i := !i + 2;
+        let buf = Buffer.create 32 in
+        skip_comment ~depth:0 buf;
+        let standalone =
+          line_is_blank_before src ~bol:c_bol ~pos:c_start && line_is_blank_after src ~pos:!i
+        in
+        (match parse_comment (Buffer.contents buf) with
+        | None -> ()
+        | Some `All ->
+          add tbl c_line None;
+          (* a standalone comment (possibly multi-line) also covers the
+             line after its closing delimiter *)
+          if standalone then add tbl (!line + 1) None
+        | Some (`Rules rs) ->
+          add tbl c_line (Some rs);
+          if standalone then add tbl (!line + 1) (Some rs)
+        | Some `Broken -> broken := (c_line, c_start - c_bol) :: !broken)
+      | _ -> incr i
+    done;
+    (tbl, List.rev !broken)
+
+  let covers (tbl : t) ~line rule =
+    match Hashtbl.find_opt tbl line with
+    | None -> false
+    | Some None -> true
+    | Some (Some rs) -> List.mem rule rs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping *)
+
+type scope = { in_lib : bool; in_core : bool }
+
+let scope_of_path p =
+  let starts prefix = String.length p >= String.length prefix && String.sub p 0 (String.length prefix) = prefix in
+  { in_lib = starts "lib/"; in_core = starts "lib/core/" }
+
+(* ------------------------------------------------------------------ *)
+(* The AST pass *)
+
+open Parsetree
+
+let flatten_ident (lid : Longident.t) =
+  match Longident.flatten lid with exception _ -> [] | parts -> parts
+
+(* Strip a leading [Stdlib.] so [Stdlib.Random.int] and [Random.int]
+   match the same patterns. *)
+let norm_path parts = match parts with "Stdlib" :: rest -> rest | parts -> parts
+
+let rec is_literal_ish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true (* None, [], (), true, false, nullary variants *)
+  | Pexp_variant (_, None) -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("~-" | "~-." | "-" | "-."); _ }; _ }, [ (_, arg) ])
+    -> is_literal_ish arg
+  | Pexp_constraint (e, _) -> is_literal_ish e
+  | _ -> false
+
+(* Structural operands: values built inline whose comparison is
+   definitely polymorphic-on-composite (tuples, populated constructors,
+   records, lists, arrays). Comparing those with [=] is the classic
+   latent nondeterminism / exception-on-closure hazard. *)
+let is_structural (e : expression) =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
+  | _ -> false
+
+let cmp_operators = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+let cmp_functions = [ "compare"; "min"; "max" ]
+
+let lint_file ~path ~scope_path ~src structure =
+  let diags = ref [] in
+  let suppress, broken = Suppress.scan src in
+  let scope = scope_of_path scope_path in
+  let add ~loc rule msg =
+    let p = loc.Location.loc_start in
+    let line = p.Lexing.pos_lnum in
+    if not (Suppress.covers suppress ~line rule) then
+      diags := { file = path; line; col = p.Lexing.pos_cnum - p.Lexing.pos_bol; rule; msg } :: !diags
+  in
+  (* Idents consumed by the surrounding-application check, so the bare
+     ident pass does not double-report them. *)
+  let handled : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark (e : expression) = Hashtbl.replace handled e.pexp_loc.loc_start.pos_cnum () in
+  let seen (e : expression) = Hashtbl.mem handled e.pexp_loc.loc_start.pos_cnum in
+  let check_path_ident ~loc parts =
+    match norm_path parts with
+    | "Random" :: _ ->
+      add ~loc Rule.D2 "ambient Random breaks seed reproducibility; draw from Octo_sim.Rng"
+    | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+      add ~loc Rule.D2 "wall-clock reads diverge across runs; use Engine.now simulated time"
+    | [ "Hashtbl"; ("iter" | "fold") ] when scope.in_lib ->
+      add ~loc Rule.D3
+        "Hashtbl traversal is bucket-ordered; use Octo_sim.Tbl.iter_sorted/fold_sorted"
+    | [ ("Net" | "Network"); "send" ] when scope.in_core ->
+      add ~loc Rule.D4 "raw send bypasses the Rpc substrate; use Rpc.call or Deployment.send"
+    | ([ "Printf"; "printf" ] | [ "Format"; "printf" ]) when scope.in_lib ->
+      add ~loc Rule.D5 "lib/ must not write stdout; route through Trace/Metrics/Report"
+    | [ ("print_endline" | "print_string" | "print_newline" | "print_int" | "print_float" | "print_char") ]
+      when scope.in_lib ->
+      add ~loc Rule.D5 "lib/ must not write stdout; route through Trace/Metrics/Report"
+    | _ -> ()
+  in
+  let check_bare_poly ~loc name =
+    if scope.in_lib then
+      if List.mem name cmp_functions then
+        add ~loc Rule.D1
+          (Printf.sprintf "polymorphic %s; use a typed comparison (Int.%s, Float.%s, ...)" name name name)
+      else if List.mem name cmp_operators then
+        add ~loc Rule.D1
+          (Printf.sprintf "polymorphic (%s) escapes as a closure; pass a typed comparison" name)
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr self (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ } as head), args)
+      when List.mem op cmp_functions || List.mem op cmp_operators ->
+      if scope.in_lib then begin
+        let operands = List.map snd args in
+        let exempt =
+          List.length operands = 2
+          &&
+          if List.mem op cmp_functions then List.exists is_literal_ish operands
+          else not (List.exists is_structural operands)
+        in
+        mark head;
+        if not exempt then
+          if List.mem op cmp_functions then
+            add ~loc:head.pexp_loc Rule.D1
+              (Printf.sprintf "polymorphic %s on non-literal operands; use Int.%s/Float.%s" op op op)
+          else
+            add ~loc:head.pexp_loc Rule.D1
+              (Printf.sprintf "structural (%s) on composite operands; compare fields explicitly" op)
+      end
+      else mark head
+    | Pexp_ident { txt; loc } -> (
+      if not (seen e) then
+        match txt with
+        | Longident.Lident name ->
+          check_bare_poly ~loc name;
+          check_path_ident ~loc [ name ]
+        | _ -> check_path_ident ~loc (flatten_ident txt))
+    | _ -> ());
+    super.expr self e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  List.iter
+    (fun (line, col) ->
+      diags :=
+        { file = path; line; col; rule = Rule.D1;
+          msg = "unparseable octolint suppression; expected (* octolint: allow <rule>... *)" }
+        :: !diags)
+    broken;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* File discovery *)
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let rec walk acc p =
+  if is_dir p then
+    Sys.readdir p |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           let child = Filename.concat p entry in
+           if is_dir child then
+             (* Skip build output, VCS internals and the linter's own
+                known-bad fixture corpus during recursive descent; a
+                fixture directory passed explicitly is still scanned. *)
+             if entry = "_build" || entry = "lint_fixtures" || String.length entry > 0 && entry.[0] = '.'
+             then acc
+             else walk acc child
+           else if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli" then
+             child :: acc
+           else acc)
+         acc
+  else p :: acc
+
+let relativize ~root p =
+  match root with
+  | None -> p
+  | Some root ->
+    let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+    if String.length p > String.length root && String.sub p 0 (String.length root) = root then
+      String.sub p (String.length root) (String.length p - String.length root)
+    else p
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_errors = ref 0
+
+let lint_one ~root ~enabled path =
+  let scope_path = relativize ~root path in
+  if Filename.check_suffix path ".mli" then []
+  else begin
+    let src = read_file path in
+    let lexbuf = Lexing.from_string src in
+    Lexing.set_filename lexbuf scope_path;
+    match Parse.implementation lexbuf with
+    | exception exn ->
+      incr parse_errors;
+      let loc =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) -> e.Location.main.Location.loc.Location.loc_start
+        | _ -> Lexing.{ pos_fname = scope_path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
+      in
+      Printf.eprintf "%s:%d:%d: [parse-error] file does not parse; octolint cannot check it\n"
+        scope_path loc.Lexing.pos_lnum (loc.Lexing.pos_cnum - loc.Lexing.pos_bol);
+      []
+    | structure ->
+      let diags = lint_file ~path:scope_path ~scope_path ~src structure in
+      (* D6: interface presence is a per-file fact, not an AST one. *)
+      let d6 =
+        let scope = scope_of_path scope_path in
+        if scope.in_lib && not (Sys.file_exists (path ^ "i")) then begin
+          let suppress, _ = Suppress.scan src in
+          if Suppress.covers suppress ~line:1 Rule.D6 then []
+          else
+            [ { file = scope_path; line = 1; col = 0; rule = Rule.D6;
+                msg = "lib/ module has no interface; add a sibling .mli" } ]
+        end
+        else []
+      in
+      List.filter (fun d -> List.mem d.rule enabled) (d6 @ diags)
+  end
+
+let usage () =
+  print_string
+    "usage: octolint [options] <file-or-dir>...\n\
+     \n\
+     Statically checks the Octopus determinism & layering rules and exits\n\
+     non-zero if any violation is found.\n\
+     \n\
+     options:\n\
+     \  --only d3,d5       run only these rules (codes or slugs)\n\
+     \  --disable d1       run all rules except these\n\
+     \  --relative-to DIR  scope and report paths relative to DIR\n\
+     \  --list-rules       print the rule table and exit\n\
+     \  -h, --help         this message\n\
+     \n\
+     Suppress a single line with  (* octolint: allow <rule> [<rule>...] *)\n\
+     placed on (or alone on the line above) the offending line; the rule\n\
+     name 'all' suppresses every rule for that line.\n"
+
+let list_rules () =
+  List.iter
+    (fun r -> Printf.printf "%s %-18s %s\n" (Rule.code r) (Rule.slug r) (Rule.describe r))
+    Rule.all
+
+let parse_rule_set what s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match Rule.of_string t with
+         | Some r -> r
+         | None ->
+           Printf.eprintf "octolint: unknown rule %S in %s\n" t what;
+           exit 2)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let paths = ref [] in
+  let only = ref None in
+  let disabled = ref [] in
+  let root = ref None in
+  let rec parse = function
+    | [] -> ()
+    | ("-h" | "--help") :: _ -> usage (); exit 0
+    | "--list-rules" :: _ -> list_rules (); exit 0
+    | "--only" :: v :: rest -> only := Some (parse_rule_set "--only" v); parse rest
+    | "--disable" :: v :: rest -> disabled := parse_rule_set "--disable" v @ !disabled; parse rest
+    | "--relative-to" :: v :: rest -> root := Some v; parse rest
+    | ("--only" | "--disable" | "--relative-to") :: [] ->
+      Printf.eprintf "octolint: missing argument\n"; exit 2
+    | flag :: _ when String.length flag > 1 && flag.[0] = '-' ->
+      Printf.eprintf "octolint: unknown option %s\n" flag; exit 2
+    | p :: rest -> paths := p :: !paths; parse rest
+  in
+  parse args;
+  if !paths = [] then begin usage (); exit 2 end;
+  let enabled =
+    let base = match !only with Some rs -> rs | None -> Rule.all in
+    List.filter (fun r -> not (List.mem r !disabled)) base
+  in
+  let files = List.fold_left walk [] (List.rev !paths) |> List.sort String.compare in
+  let diags = List.concat_map (lint_one ~root:!root ~enabled) files in
+  let diags =
+    List.sort
+      (fun a b ->
+        let c = String.compare a.file b.file in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.line b.line in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.col b.col in
+            if c <> 0 then c else Rule.compare_rule a.rule b.rule)
+      diags
+  in
+  List.iter
+    (fun d ->
+      Printf.printf "%s:%d:%d: [%s %s] %s\n" d.file d.line d.col (Rule.code d.rule)
+        (Rule.slug d.rule) d.msg)
+    diags;
+  if diags <> [] then
+    Printf.eprintf "octolint: %d violation%s in %d file%s\n" (List.length diags)
+      (if List.length diags = 1 then "" else "s")
+      (List.length (List.sort_uniq String.compare (List.map (fun d -> d.file) diags)))
+      (if List.length diags = 1 then "" else "s");
+  if !parse_errors > 0 then exit 2 else if diags <> [] then exit 1 else exit 0
