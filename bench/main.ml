@@ -151,6 +151,20 @@ let kernels =
              Octo_sim.Engine.run engine
                ~until:(Octo_sim.Engine.now engine +. 10.0);
              assert !gave_up));
+      (* Fault layer: with no plan installed the Net send path must cost
+         the same as before the layer existed (the hook is a single
+         option check). A batch of sends drained through a hookless net;
+         compare against the PR4 baseline to bound the overhead. *)
+      Test.make ~name:"fault/overhead"
+        (let engine = Octo_sim.Engine.create ~seed:10 () in
+         let lat = Octo_sim.Latency.create (Octo_sim.Rng.create ~seed:11) ~n:8 in
+         let net = Octo_sim.Net.create engine lat in
+         let () = for a = 0 to 7 do Octo_sim.Net.register net a (fun _ -> ()) done in
+         Staged.stage (fun () ->
+             for i = 0 to 63 do
+               Octo_sim.Net.send net ~src:(i mod 8) ~dst:((i + 3) mod 8) ~size:36 ()
+             done;
+             Octo_sim.Engine.run engine ~until:(Octo_sim.Engine.now engine +. 5.0)));
       (* Crypto substrate reference point. *)
       Test.make ~name:"substrate/sha256-1KiB"
         (let buf = Bytes.create 1024 in

@@ -261,10 +261,81 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Traced end-to-end scenario with online invariant checking")
     Term.(const run $ n $ duration $ seed $ trace_file $ check $ misroute)
 
+(* ------------------------------------------------------------------ *)
+(* chaos: fault injection + graceful degradation *)
+
+let chaos_cmd =
+  let run regimes n duration seed trace_file check =
+    if n < 16 then begin
+      prerr_endline "octopus-repro: chaos needs -n >= 16 (partition/crash group sizing)";
+      exit 2
+    end;
+    let regimes = if regimes = [] then Chaos_exp.all_regimes else regimes in
+    let many = List.length regimes > 1 in
+    let failed = ref false in
+    List.iter
+      (fun regime ->
+        let name = Chaos_exp.regime_name regime in
+        let r = Chaos_exp.run ~n ~duration ~seed ~regime () in
+        let rate = Chaos_exp.success_rate r in
+        let floor = Chaos_exp.threshold regime in
+        Printf.printf
+          "chaos %-11s lookups %3d/%3d ok (%.0f%%, floor %.0f%%)  drops %d corrupt %d dup %d reorder %d crash %d\n"
+          name r.Chaos_exp.lookups_converged r.Chaos_exp.lookups_done (100. *. rate)
+          (100. *. floor) r.Chaos_exp.drops r.Chaos_exp.corruptions r.Chaos_exp.duplicates
+          r.Chaos_exp.reorders r.Chaos_exp.crashes;
+        (match trace_file with
+        | Some path ->
+          (* One file per regime when several run in one invocation. *)
+          let path = if many then path ^ "." ^ name else path in
+          (try
+             let oc = open_out path in
+             Octo_sim.Trace.dump_jsonl r.Chaos_exp.trace oc;
+             close_out oc;
+             Printf.printf "chaos %-11s trace written to %s\n" name path
+           with Sys_error e ->
+             Printf.eprintf "octopus-repro: cannot write trace file: %s\n" e;
+             exit 2)
+        | None -> ());
+        if not (Chaos_exp.passed r) then begin
+          Printf.printf "chaos %-11s FAILED: success rate below the documented floor\n" name;
+          failed := true
+        end;
+        if check then begin
+          Octopus.Invariant.report r.Chaos_exp.checker Format.std_formatter;
+          if not (Octopus.Invariant.ok r.Chaos_exp.checker) then failed := true
+        end)
+      regimes;
+    if !failed then exit 1
+  in
+  let regimes =
+    let names = List.map (fun r -> (Chaos_exp.regime_name r, r)) Chaos_exp.all_regimes in
+    Arg.(value & pos_all (enum names) [] & info [] ~docv:"REGIME"
+           ~doc:"Fault regimes to run (default: all).")
+  in
+  let n = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Network size.") in
+  let duration = Arg.(value & opt float 240.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write each regime's event stream as JSON Lines; with several \
+                 regimes in one invocation the regime name is appended to $(docv).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Run the online invariant checker (including post-heal convergence \
+                 and corrupted-document acceptance); exit 1 on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Lookup workload under fault injection: partitions, corruption, \
+             duplication/reordering, crash bursts, regional outages")
+    Term.(const run $ regimes $ n $ duration $ seed $ trace_file $ check)
+
 let () =
   let doc = "Octopus: anonymous and secure DHT lookup — paper reproduction harness" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "octopus-repro" ~doc)
           [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; trace_cmd;
-            all_cmd ]))
+            chaos_cmd; all_cmd ]))

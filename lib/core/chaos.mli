@@ -1,0 +1,24 @@
+(** Protocol-aware binding of the generic fault engine ({!Octo_sim.Fault})
+    to an Octopus deployment.
+
+    {!Octo_sim.Fault} knows addresses and opaque payloads; this module
+    supplies the Octopus-specific pieces:
+
+    - the {b corrupter}: garbles a message in flight — signed documents
+      get the always-invalid placeholder signature (and are registered on
+      the deployment's corrupted-document watch list, so a verifier ever
+      accepting one trips the invariant checker), onion capsules get a
+      flipped byte, and every corrupted message's wire size is perturbed
+      so byte accounting runs over faulted traffic too;
+    - {b crash/recover}: a crash burst kills the node ({!World.kill},
+      which also fails its queued RPCs); recovery revives it with a fresh
+      identity and runs the {!Maintain.join} protocol, exactly like churn.
+
+    Installed by the scenario builder right after the protocol handlers;
+    with no [fault_plan] in the config this is a no-op — no hook, no RNG
+    split, byte-identical traces. *)
+
+val install : World.t -> Types.msg Octo_sim.Fault.t option
+(** [install w] compiles [w.cfg.fault_plan] against the world's network
+    and returns the live fault engine, or [None] when no plan is
+    configured. *)

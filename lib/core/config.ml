@@ -63,6 +63,11 @@ type t = {
   (* adversary model *)
   adversary_backdate : float;
   finger_revet_prob : float;
+  (* fault injection & graceful degradation *)
+  fault_plan : Octo_sim.Fault.plan option;
+  anon_path_retries : int;
+  circuit_rebuild_attempts : int;
+  ring_repair : bool;
 }
 
 let default =
@@ -123,6 +128,10 @@ let default =
     ca_evidence_max_age = 30.0;
     adversary_backdate = 15.0;
     finger_revet_prob = 0.1;
+    fault_plan = None;
+    anon_path_retries = 0;
+    circuit_rebuild_attempts = 2;
+    ring_repair = false;
   }
 
 let paper_security = default

@@ -84,6 +84,22 @@ type t = {
       (** how far a colluder backdates a fabricated covering proof *)
   finger_revet_prob : float;
       (** probability an unchanged finger is re-vetted anyway *)
+  fault_plan : Octo_sim.Fault.plan option;
+      (** fault-injection schedule installed at world build time; [None]
+          (the default) leaves the network fast path untouched and keeps
+          traces byte-identical to a build without fault support *)
+  anon_path_retries : int;
+      (** times an anonymous lookup step may fall back to a fresh relay
+          pair after its path dies; [0] reproduces the historical
+          single-path behaviour exactly *)
+  circuit_rebuild_attempts : int;
+      (** rebuilds a circuit session attempts after a relay failure
+          before abandoning ([Trace.Circuit_abandoned]) *)
+  ring_repair : bool;
+      (** when set, nodes remember peers lost to timeout eviction and
+          probe them during stabilization, re-merging their successor
+          lists once they respond — the post-partition re-convergence
+          path; off by default for trace compatibility *)
 }
 
 val default : t

@@ -36,6 +36,7 @@ type node = Node_state.t = {
   mutable intro_proofs : (float * Types.signed_list) list;
   storage : (int, bytes) Hashtbl.t;
   timeout_strikes : (int, int * float) Hashtbl.t;
+  mutable lost_peers : (int * float) list;
 }
 
 type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
@@ -72,6 +73,8 @@ type t = {
   mutable attack : attack_spec;
   mutable next_sid : int;
   verify_cache : (string, bool) Hashtbl.t;
+  corrupted_docs : (string, unit) Hashtbl.t;
+  mutable corrupt_accepted : int;
   metrics : metrics;
 }
 
@@ -253,49 +256,68 @@ let cache_key tag digest (signature : Keys.signature) (cert : Cert.t) =
   Buffer.add_bytes b ct;
   Buffer.contents b
 
+(* Corrupted-document watch list: the fault layer registers the cache key
+   of every document it garbles in flight, and the verifiers below count
+   any registered document that nonetheless verifies. The count feeding an
+   invariant ("corrupted messages are never accepted") turns a silent
+   authentication bypass into a hard test failure. *)
+let register_corrupted_list t (sl : Types.signed_list) =
+  Hashtbl.replace t.corrupted_docs
+    (cache_key "L" (Types.list_digest sl) sl.Types.l_sig sl.Types.l_cert)
+    ()
+
+let register_corrupted_table t (st : Types.signed_table) =
+  Hashtbl.replace t.corrupted_docs
+    (cache_key "T" (Types.table_digest st) st.Types.t_sig st.Types.t_cert)
+    ()
+
+let watch_verdict t key ok =
+  if ok && Hashtbl.length t.corrupted_docs > 0 && Hashtbl.mem t.corrupted_docs key then
+    t.corrupt_accepted <- t.corrupt_accepted + 1;
+  ok
+
 let verify_list t ?expect_owner ?max_age ?(revoked_ok = false) sl =
   let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
   let owner_ok =
     match expect_owner with Some o -> Peer.equal o sl.Types.l_owner | None -> true
   in
-  owner_ok
-  && now t -. sl.Types.l_time <= max_age
-  && sl.Types.l_time <= now t +. 0.001
-  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:sl.Types.l_owner.Peer.id))
-  &&
   let digest = Types.list_digest sl in
-  cached_verdict t
-    (cache_key "L" digest sl.Types.l_sig sl.Types.l_cert)
-    (fun () ->
-      let order_ok =
-        match sl.Types.l_kind with
-        | Types.Succ_list -> sorted_cw t.space ~from:sl.Types.l_owner.Peer.id sl.Types.l_peers
-        | Types.Pred_list ->
-          sorted_cw t.space ~from:sl.Types.l_owner.Peer.id (List.rev sl.Types.l_peers)
-      in
-      order_ok
-      && cert_matches sl.Types.l_cert sl.Types.l_owner
-      && Cert.verify t.authority ~now:sl.Types.l_time sl.Types.l_cert
-      && Keys.verify t.registry sl.Types.l_cert.Cert.public digest sl.Types.l_sig)
+  let key = cache_key "L" digest sl.Types.l_sig sl.Types.l_cert in
+  watch_verdict t key
+    (owner_ok
+    && now t -. sl.Types.l_time <= max_age
+    && sl.Types.l_time <= now t +. 0.001
+    && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:sl.Types.l_owner.Peer.id))
+    && cached_verdict t key (fun () ->
+           let order_ok =
+             match sl.Types.l_kind with
+             | Types.Succ_list ->
+               sorted_cw t.space ~from:sl.Types.l_owner.Peer.id sl.Types.l_peers
+             | Types.Pred_list ->
+               sorted_cw t.space ~from:sl.Types.l_owner.Peer.id (List.rev sl.Types.l_peers)
+           in
+           order_ok
+           && cert_matches sl.Types.l_cert sl.Types.l_owner
+           && Cert.verify t.authority ~now:sl.Types.l_time sl.Types.l_cert
+           && Keys.verify t.registry sl.Types.l_cert.Cert.public digest sl.Types.l_sig))
 
 let verify_table t ?expect_owner ?max_age ?(revoked_ok = false) st =
   let max_age = Option.value ~default:t.cfg.Config.table_freshness max_age in
   let owner_ok =
     match expect_owner with Some o -> Peer.equal o st.Types.t_owner | None -> true
   in
-  owner_ok
-  && now t -. st.Types.t_time <= max_age
-  && st.Types.t_time <= now t +. 0.001
-  && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:st.Types.t_owner.Peer.id))
-  &&
   let digest = Types.table_digest st in
-  cached_verdict t
-    (cache_key "T" digest st.Types.t_sig st.Types.t_cert)
-    (fun () ->
-      sorted_cw t.space ~from:st.Types.t_owner.Peer.id st.Types.t_succs
-      && cert_matches st.Types.t_cert st.Types.t_owner
-      && Cert.verify t.authority ~now:st.Types.t_time st.Types.t_cert
-      && Keys.verify t.registry st.Types.t_cert.Cert.public digest st.Types.t_sig)
+  let key = cache_key "T" digest st.Types.t_sig st.Types.t_cert in
+  watch_verdict t key
+    (owner_ok
+    && now t -. st.Types.t_time <= max_age
+    && st.Types.t_time <= now t +. 0.001
+    && (revoked_ok || not (Cert.is_revoked t.authority ~node_id:st.Types.t_owner.Peer.id))
+    && cached_verdict t key (fun () ->
+           sorted_cw t.space ~from:st.Types.t_owner.Peer.id st.Types.t_succs
+           && cert_matches st.Types.t_cert st.Types.t_owner
+           && Cert.verify t.authority ~now:st.Types.t_time st.Types.t_cert
+           && Keys.verify t.registry st.Types.t_cert.Cert.public digest st.Types.t_sig))
 
 let sanitize_table t node (st : Types.signed_table) =
   let gap = Octo_chord.Bounds.estimated_gap node.rt in
@@ -371,8 +393,14 @@ let buffer_table _t node st = Node_state.buffer_table node st
 let update_preds t node peers = Node_state.update_preds node ~now:(now t) peers
 
 let note_timeout t node addr =
-  Node_state.note_timeout node ~now:(now t) ~window:t.cfg.Config.timeout_strike_window
-    ~strikes:t.cfg.Config.timeout_strikes addr
+  let evict =
+    Node_state.note_timeout node ~now:(now t) ~window:t.cfg.Config.timeout_strike_window
+      ~strikes:t.cfg.Config.timeout_strikes addr
+  in
+  (* Under ring repair, an eviction is remembered so stabilization can
+     probe the peer again after a partition heals. *)
+  if evict && t.cfg.Config.ring_repair then Node_state.remember_lost node ~at:(now t) addr;
+  evict
 
 let pred_known_since = Node_state.pred_known_since
 
@@ -385,7 +413,10 @@ let issue_cert t ~node_id ~addr ~public =
 let kill t addr =
   let n = t.nodes.(addr) in
   n.alive <- false;
-  Net.set_alive t.net addr false
+  Net.set_alive t.net addr false;
+  (* Calls queued behind the dead destination's in-flight cap would each
+     have to be launched and time out in turn; fail them now instead. *)
+  Rpc.fail_queued t.rpc ~dst:addr
 
 let revive t addr =
   let n = t.nodes.(addr) in
@@ -572,6 +603,8 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
       attack = no_attack;
       next_sid = 0;
       verify_cache = Hashtbl.create 1024;
+      corrupted_docs = Hashtbl.create 16;
+      corrupt_accepted = 0;
       metrics;
     }
   in

@@ -41,6 +41,7 @@ type node = Node_state.t = {
   mutable intro_proofs : (float * Types.signed_list) list;
   storage : (int, bytes) Hashtbl.t;
   timeout_strikes : (int, int * float) Hashtbl.t;
+  mutable lost_peers : (int * float) list;
 }
 (** Re-export of {!Node_state.t}; see that module for field docs. *)
 
@@ -87,6 +88,12 @@ type t = {
   verify_cache : (string, bool) Hashtbl.t;
       (** cached time-independent verification verdicts, keyed by
           (digest, signature, cert tag); bounded, flushed on revocation *)
+  corrupted_docs : (string, unit) Hashtbl.t;
+      (** cache keys of documents the fault layer garbled in flight; any
+          verifier accepting one bumps [corrupt_accepted] *)
+  mutable corrupt_accepted : int;
+      (** corrupted documents that nonetheless verified — must stay 0
+          (checked by {!Invariant}) *)
   metrics : metrics;
 }
 
@@ -182,6 +189,13 @@ val verify_list :
 val verify_table :
   t -> ?expect_owner:Peer.t -> ?max_age:float -> ?revoked_ok:bool -> Types.signed_table -> bool
 
+val register_corrupted_list : t -> Types.signed_list -> unit
+(** Mark a garbled signed list so any later successful verification of it
+    is counted in [corrupt_accepted]. Called by the fault layer's
+    corrupter, never by protocol code. *)
+
+val register_corrupted_table : t -> Types.signed_table -> unit
+
 val sanitize_table : t -> node -> Types.signed_table -> Types.signed_table
 (** NISAN-style bound filtering (§4.1): drop fingers implausibly far past
     their ideal positions, judged against the density estimated from the
@@ -207,7 +221,9 @@ val update_preds : t -> node -> Peer.t list -> unit
 val note_timeout : t -> node -> int -> bool
 (** Record an RPC give-up against a peer; [true] when it should now be
     evicted ([cfg.timeout_strikes] within [cfg.timeout_strike_window] —
-    one slow round trip never drops a live neighbor). *)
+    one slow round trip never drops a live neighbor). Under
+    [cfg.ring_repair], evictions are additionally remembered
+    ({!Node_state.remember_lost}) for the stabilization repair probe. *)
 
 val pred_known_since : node -> Peer.t -> float option
 (** When this exact identity entered the predecessor list, if current. *)
@@ -215,6 +231,9 @@ val pred_known_since : node -> Peer.t -> float option
 (* -- membership events --------------------------------------------- *)
 
 val kill : t -> int -> unit
+(** Mark the node dead and fail any RPC calls still queued behind its
+    in-flight cap (fail-fast instead of serial timeouts). *)
+
 val revive : t -> int -> unit
 (** Rejoin with a fresh identity and certificate; routing state empty. *)
 

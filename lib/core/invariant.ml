@@ -1,4 +1,6 @@
 module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
+module Rtable = Octo_chord.Rtable
 module Net = Octo_sim.Net
 module Trace = Octo_sim.Trace
 module Wire = Octo_crypto.Wire
@@ -24,6 +26,12 @@ type t = {
   tx_base : int array;
   rx_base : int array;
   grace : float;
+  (* liveness-disturbance tracking, fed by the fault layer's events: while
+     a partition/link/outage window is open (or shortly after any
+     disturbance) lookups may legitimately converge to a stale owner, so
+     Invariant 1 is excused rather than reported as a false violation *)
+  mutable disturbances : int;
+  mutable last_disturbance : float;
 }
 
 let violations t = List.rev t.violations
@@ -57,6 +65,8 @@ let create ?grace w =
     tx_base;
     rx_base;
     grace;
+    disturbances = 0;
+    last_disturbance = neg_infinity;
   }
 
 (* [addr] was revoked so long before [time] that no verifiable routing
@@ -85,9 +95,11 @@ let check_msg t ev ~kind ~size =
     if size <> expect then
       flag t ~event:ev (Printf.sprintf "Receipt_msg must be %dB, got %dB" expect size)
   | "List_resp" | "Table_resp" ->
-    (* Smallest possible signed document: item + timestamp + signature +
-       certificate on top of the header. *)
-    let floor = Wire.header + Wire.routing_item + Wire.timestamp + Wire.signature + Wire.certificate in
+    (* Smallest possible signed document: timestamp + signature +
+       certificate on top of the header, with zero routing items — a node
+       that lost every peer to a fault legitimately serves an empty
+       list. *)
+    let floor = Wire.header + Wire.timestamp + Wire.signature + Wire.certificate in
     if size < floor then
       flag t ~event:ev (Printf.sprintf "%s below signed-document floor %dB: %dB" kind floor size)
   | _ -> ())
@@ -109,7 +121,15 @@ let on_event t (ev : Trace.event) =
     if owner_addr >= 0 then begin
       (* Invariant 1: a converged lookup names the true successor per the
          global view. A node revoked after the lookup began is excused —
-         the initiator could not have known. *)
+         the initiator could not have known. So is a lookup overlapping a
+         liveness disturbance (partition, outage, crash burst): global
+         truth and the reachable ring legitimately disagree until the
+         fault heals and maintenance re-converges. *)
+      let disturbed =
+        t.disturbances > 0
+        || ev.Trace.time -. t.last_disturbance <= t.grace
+        || (match start with Some s -> s -. t.last_disturbance <= t.grace | None -> false)
+      in
       let revoked_mid_lookup =
         match (Hashtbl.find_opt t.revoked_at owner_addr, start) with
         | Some at, Some s -> at >= s -. t.grace
@@ -117,7 +137,7 @@ let on_event t (ev : Trace.event) =
         | None, _ -> false
       in
       match World.find_owner t.w ~key with
-      | _ when revoked_mid_lookup -> ()
+      | _ when revoked_mid_lookup || disturbed -> ()
       | Some truth when truth.Peer.addr = owner_addr && truth.Peer.id = owner_id -> ()
       | Some truth ->
         flag t ~event:ev
@@ -158,14 +178,63 @@ let on_event t (ev : Trace.event) =
       flag t ~event:ev "circuit uses a duplicate relay";
     if List.mem initiator relays then
       flag t ~event:ev (Printf.sprintf "circuit routes through its initiator %d" initiator)
+  | Trace.Fault_phase { fault = "partition" | "link" | "outage"; on } ->
+    if on then t.disturbances <- t.disturbances + 1
+    else t.disturbances <- Int.max 0 (t.disturbances - 1);
+    t.last_disturbance <- ev.Trace.time
+  | Trace.Fault_crash _ | Trace.Fault_recover _ -> t.last_disturbance <- ev.Trace.time
   | _ -> ()
 
 let attach t trace = Trace.subscribe trace (on_event t)
+
+(* Liveness check, called once the network has had time to settle after
+   the last fault window: every alive node's successor pointer must name
+   the alive unrevoked peer that actually follows it on the ring. This is
+   the "ring re-converges after heal" property — drops and evictions
+   during a partition are fine, failing to re-knit afterwards is not. *)
+let check_convergence t =
+  let w = t.w in
+  let space = w.World.space in
+  let n = World.n_nodes w in
+  for a = 0 to n - 1 do
+    let node = World.node w a in
+    if node.World.alive && not node.World.revoked then begin
+      let truth = ref None in
+      for b = 0 to n - 1 do
+        if b <> a then begin
+          let other = World.node w b in
+          if other.World.alive && not other.World.revoked then begin
+            let d = Id.distance_cw space node.World.peer.Peer.id other.World.peer.Peer.id in
+            match !truth with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> truth := Some (other.World.peer, d)
+          end
+        end
+      done;
+      match (!truth, Rtable.successor node.World.rt) with
+      | None, _ -> ()
+      | Some (p, _), Some s when Peer.equal s p -> ()
+      | Some (p, _), Some s ->
+        flag t
+          (Printf.sprintf "node %d: successor is %d@%d but ring truth is %d@%d" a s.Peer.id
+             s.Peer.addr p.Peer.id p.Peer.addr)
+      | Some (p, _), None ->
+        flag t
+          (Printf.sprintf "node %d: no successor but ring truth is %d@%d" a p.Peer.id
+             p.Peer.addr)
+    end
+  done
 
 (* Invariant 3b, end-of-run: the stream's per-node byte accounting must
    reconcile with the Net counters — a mismatch means events were lost or
    traffic bypassed the instrumented egress. *)
 let finish t =
+  (* Invariant 5: garbled documents never pass verification — the
+     watch-list counter in the deployment must still be zero. *)
+  if t.w.World.corrupt_accepted > 0 then
+    flag t
+      (Printf.sprintf "%d corrupted document%s passed verification" t.w.World.corrupt_accepted
+         (if t.w.World.corrupt_accepted = 1 then "" else "s"));
   let net = t.w.World.net in
   Array.iteri
     (fun addr seen ->

@@ -12,7 +12,16 @@
       signed-document floors), and — at {!finish} — the stream's per-node
       byte totals reconcile with the [Net] counters;
     + revoked identities never appear in later paths, hops, or walks
-      (after a small grace window for in-flight traffic).
+      (after a small grace window for in-flight traffic);
+    + documents garbled by the fault layer never pass verification
+      (checked at {!finish} via the deployment's watch-list counter).
+
+    Fault awareness: while a partition/link/outage window is open (the
+    fault layer's [Fault_phase] events) or shortly after any disturbance
+    (crash/recover), the lookup-convergence check is excused — global
+    truth and the reachable ring legitimately disagree until the fault
+    heals and maintenance re-converges. {!check_convergence} then asserts
+    that re-convergence actually happened.
 
     Typical use:
     {[
@@ -43,7 +52,14 @@ val attach : t -> Octo_sim.Trace.t -> unit
 (** Subscribe to the sink; the checker runs online from then on. *)
 
 val finish : t -> unit
-(** Run end-of-run checks (byte-accounting reconciliation). *)
+(** Run end-of-run checks: byte-accounting reconciliation and the
+    corrupted-documents-never-accepted counter. *)
+
+val check_convergence : t -> unit
+(** Liveness: assert every alive unrevoked node's successor pointer names
+    the alive unrevoked peer that actually follows it on the ring. Call
+    once the network has settled after the last fault window (post-heal
+    re-convergence); mismatches are recorded as violations. *)
 
 val ok : t -> bool
 val violations : t -> violation list

@@ -1,4 +1,5 @@
 module Peer = Octo_chord.Peer
+module Id = Octo_chord.Id
 module Rtable = Octo_chord.Rtable
 module Engine = Octo_sim.Engine
 module Rng = Octo_sim.Rng
@@ -27,7 +28,23 @@ let stabilize_succs w (node : World.node) =
           when slist.Types.l_kind = Types.Succ_list
                && World.verify_list w ~expect_owner:succ slist ->
           World.push_proof w node slist;
-          Rtable.set_succs node.World.rt (succ :: slist.Types.l_peers)
+          (* Under ring repair, hold back entries *strictly closer* than
+             the responder: an announce or repair probe may have just
+             installed a closer successor learnt elsewhere, and this
+             (older, in-flight) response must not wipe it — replacement
+             sustains a post-heal deadlock where the re-learnt neighbor
+             is discarded every round. Farther entries still follow
+             replace semantics so stale identities age out of the list
+             instead of being re-merged forever. *)
+          let held =
+            if w.World.cfg.Config.ring_repair then
+              let d p =
+                Id.distance_cw w.World.space node.World.peer.Peer.id p.Peer.id
+              in
+              List.filter (fun p -> d p < d succ) (Rtable.succs node.World.rt)
+            else []
+          in
+          Rtable.set_succs node.World.rt ((succ :: slist.Types.l_peers) @ held)
         | Types.List_resp { slist; _ }
           when slist.Types.l_owner.Peer.addr = succ.Peer.addr
                && (not (Peer.equal slist.Types.l_owner succ))
@@ -53,7 +70,17 @@ let stabilize_preds w (node : World.node) =
         | Types.List_resp { slist; _ }
           when slist.Types.l_kind = Types.Pred_list
                && World.verify_list w ~expect_owner:pred slist ->
-          World.update_preds w node (pred :: slist.Types.l_peers)
+          (* Same hold-back-closer rationale as the successor side, with
+             the anti-clockwise distance. *)
+          let held =
+            if w.World.cfg.Config.ring_repair then
+              let d p =
+                Id.distance_cw w.World.space p.Peer.id node.World.peer.Peer.id
+              in
+              List.filter (fun p -> d p < d pred) (Rtable.preds node.World.rt)
+            else []
+          in
+          World.update_preds w node ((pred :: slist.Types.l_peers) @ held)
         | Types.List_resp { slist; _ }
           when slist.Types.l_owner.Peer.addr = pred.Peer.addr
                && (not (Peer.equal slist.Types.l_owner pred))
@@ -61,9 +88,61 @@ let stabilize_preds w (node : World.node) =
           Rtable.remove node.World.rt ~addr:pred.Peer.addr
         | _ -> ())
 
+(* Ring repair (post-partition re-convergence): each stabilization round,
+   probe one peer previously evicted on timeout. If it answers with a
+   verifiable table — i.e. the partition healed or the crash recovered —
+   its successors are merged back into the routing table, and normal
+   stabilization re-knits the ring from there. Unreachable peers are
+   re-remembered under their original loss time, so they age out against
+   the gc horizon instead of being probed forever. *)
+let repair_probe w (node : World.node) =
+  match Node_state.take_lost node with
+  | None -> ()
+  | Some (addr, since) ->
+    if World.now w -. since <= w.World.cfg.Config.gc_horizon && addr <> node.World.addr
+    then
+      World.rpc w ~src:node.World.addr ~dst:addr
+        ~make:(fun rid -> Types.Table_req { rid })
+        ~on_timeout:(fun () -> Node_state.remember_lost node ~at:since addr)
+        (fun msg ->
+          match msg with
+          | Types.Table_resp { table; _ }
+            when table.Types.t_owner.Peer.addr = addr && World.verify_table w table ->
+            Rtable.merge_succs node.World.rt (table.Types.t_owner :: table.Types.t_succs)
+          | _ -> ())
+
+(* The back-link that pure succ/pred-list exchange lacks: when several
+   ring-adjacent nodes recover at once (crash burst, partition heal), a
+   node's true successor may be known only to the node's *current*
+   successor, as its predecessor. Pulling the successor's predecessor
+   list and merging the peers that sit between re-knits such gaps —
+   Chord's "ask your successor for its predecessor", generalized to
+   signed lists. *)
+let repair_pull_preds w (node : World.node) =
+  match Rtable.successor node.World.rt with
+  | None -> ()
+  | Some succ ->
+    World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
+      ~make:(fun rid -> Types.List_req { rid; kind = Types.Pred_list; announce = None })
+      ~on_timeout:(fun () -> ())
+      (fun msg ->
+        match msg with
+        | Types.List_resp { slist; _ }
+          when slist.Types.l_kind = Types.Pred_list
+               && World.verify_list w ~expect_owner:succ slist ->
+          Rtable.merge_succs node.World.rt
+            (List.filter
+               (fun (p : Peer.t) -> p.Peer.addr <> node.World.addr)
+               slist.Types.l_peers)
+        | _ -> ())
+
 let stabilize_once w node =
   stabilize_succs w node;
-  stabilize_preds w node
+  stabilize_preds w node;
+  if w.World.cfg.Config.ring_repair then begin
+    repair_probe w node;
+    repair_pull_preds w node
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Secure finger updates (§4.5) *)

@@ -29,6 +29,7 @@ type t = {
   mutable intro_proofs : (float * Types.signed_list) list;
   storage : (int, bytes) Hashtbl.t;
   timeout_strikes : (int, int * float) Hashtbl.t;
+  mutable lost_peers : (int * float) list;
 }
 
 let make ~addr ~peer ~rt ~malicious ~keypair ~cert =
@@ -54,6 +55,7 @@ let make ~addr ~peer ~rt ~malicious ~keypair ~cert =
     intro_proofs = [];
     storage = Hashtbl.create 8;
     timeout_strikes = Hashtbl.create 4;
+    lost_peers = [];
   }
 
 let is_active_malicious node = node.malicious && node.alive && not node.revoked
@@ -134,6 +136,32 @@ let note_timeout node ~now ~window ~strikes addr =
     Hashtbl.replace node.timeout_strikes addr (1, now);
     strikes <= 1
 
+(* Ring-repair memory: peers evicted on timeout are remembered (newest
+   first, deduplicated by address, bounded) so stabilization can probe
+   them again after a partition heals. The original loss time is kept on
+   re-remembering, so entries age out against the gc horizon. *)
+(* Generous: a partitioned node can evict most of its routing table, and
+   truncating here would drop exactly the early-evicted ring neighbors
+   that matter most for re-knitting. One entry is probed per
+   stabilization round, so the list drains within a couple of minutes of
+   simulated time regardless. *)
+let lost_peers_cap = 64
+
+let remember_lost node ~at addr =
+  let kept_at =
+    match List.assoc_opt addr node.lost_peers with Some earlier -> earlier | None -> at
+  in
+  node.lost_peers <-
+    truncate lost_peers_cap
+      ((addr, kept_at) :: List.filter (fun (a, _) -> a <> addr) node.lost_peers)
+
+let take_lost node =
+  match List.rev node.lost_peers with
+  | [] -> None
+  | oldest :: rest ->
+    node.lost_peers <- List.rev rest;
+    Some oldest
+
 let pred_known_since node (peer : Peer.t) =
   match Hashtbl.find_opt node.pred_since peer.Peer.addr with
   | Some (id, since) when id = peer.Peer.id -> Some since
@@ -151,4 +179,5 @@ let reset_volatile node =
   node.proofs <- [];
   node.buffered_tables <- [];
   node.intro_proofs <- [];
-  node.pool <- []
+  node.pool <- [];
+  node.lost_peers <- []

@@ -49,6 +49,9 @@ type t = {
   storage : (int, bytes) Hashtbl.t;  (** the node's key-value shard *)
   timeout_strikes : (int, int * float) Hashtbl.t;
       (** addr -> (consecutive timeouts, last at); see {!note_timeout} *)
+  mutable lost_peers : (int * float) list;
+      (** (addr, lost at), newest first, bounded; peers evicted on
+          timeout and remembered for ring repair — see {!remember_lost} *)
 }
 
 val make :
@@ -77,6 +80,14 @@ val update_preds : t -> now:float -> Peer.t list -> unit
 val note_timeout : t -> now:float -> window:float -> strikes:int -> int -> bool
 (** Record an RPC give-up against a peer address; [true] when it should
     now be evicted ([strikes] give-ups within [window] seconds). *)
+
+val remember_lost : t -> at:float -> int -> unit
+(** Record a peer evicted on timeout so stabilization can probe it again
+    once (ring repair). Re-remembering keeps the original loss time, so
+    a peer that stays unreachable ages out against the gc horizon. *)
+
+val take_lost : t -> (int * float) option
+(** Pop the oldest remembered lost peer, or [None]. *)
 
 val pred_known_since : t -> Peer.t -> float option
 (** When this exact identity entered the predecessor list, if current. *)

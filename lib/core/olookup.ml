@@ -152,7 +152,11 @@ let anonymous w (node : World.node) ~key k =
   let cfg = w.World.cfg in
   match Query.pick_pairs w node ~n:(1 + max_hops + cfg.Config.num_dummies) with
   | [] -> k { owner = None; hops = 0; queried = []; final_table = None; elapsed = 0.0 }
-  | ab :: rest ->
+  | ab0 :: rest ->
+    (* The entry pair is replaced on repeated path failures, so it lives
+       in a ref; the initial value seeds the dummy traffic and the
+       overlap filter below. *)
+    let ab = ref ab0 in
     (* Pairs are distinct within the lookup while they last; recycle
        randomly if the pool is smaller than the query count. *)
     let overlaps (a : World.pair) (b : World.pair) =
@@ -161,7 +165,7 @@ let anonymous w (node : World.node) ~key k =
       in
       List.exists (fun x -> List.mem x (addrs b)) (addrs a)
     in
-    let remaining = ref (List.filter (fun p -> not (overlaps p ab)) rest) in
+    let remaining = ref (List.filter (fun p -> not (overlaps p ab0)) rest) in
     let next_pair () =
       match !remaining with
       | p :: tl ->
@@ -173,30 +177,55 @@ let anonymous w (node : World.node) ~key k =
           if tries = 0 then None
           else begin
             match Query.pick_pairs w node ~n:1 with
-            | [ p ] when not (overlaps p ab) -> Some p
+            | [ p ] when not (overlaps p !ab) -> Some p
             | _ -> draw (tries - 1)
           end
         in
-        match draw 4 with Some p -> p | None -> ab)
+        match draw 4 with Some p -> p | None -> !ab)
     in
     let dummy_pairs =
       List.filteri (fun i _ -> i < cfg.Config.num_dummies) rest
     in
-    fire_dummies w node ~ab ~pairs:dummy_pairs;
+    fire_dummies w node ~ab:ab0 ~pairs:dummy_pairs;
     let fetch p cont =
-      let cd = next_pair () in
-      Query.send w node
-        ~relays:(Query.path_relays ab cd)
-        ~target:p
-        ~query:(Types.Q_table { session = None })
-        (fun reply ->
-          match reply with
-          | Some (Types.R_table st) -> cont (Some st)
-          | Some _ -> cont None
-          | None ->
-            (* One of the pair's relays may be dead: retire the pair. *)
-            Query.discard_pair node cd;
-            cont None)
+      (* Path fallback: when a step's query dies with its relay path
+         (rather than being answered), retire the exit pair and retry the
+         same step over fresh relays, up to [anon_path_retries] times.
+         This is the graceful-degradation ladder above the per-RPC
+         retries: a dead relay kills the whole onion path, so only a new
+         path can help. With the default budget of 0 the historical
+         single-shot behaviour is preserved draw for draw. *)
+      let rec attempt retries_left =
+        let cd = next_pair () in
+        Query.send w node
+          ~relays:(Query.path_relays !ab cd)
+          ~target:p
+          ~query:(Types.Q_table { session = None })
+          (fun reply ->
+            match reply with
+            | Some (Types.R_table st) -> cont (Some st)
+            | Some _ -> cont None
+            | None ->
+              (* One of the pair's relays may be dead: retire the pair. *)
+              Query.discard_pair node cd;
+              if retries_left > 0 && node.World.alive then begin
+                let attempt_no = cfg.Config.anon_path_retries - retries_left + 1 in
+                if Trace.on () then
+                  Trace.emit ~time:(World.now w) ~node:node.World.addr
+                    (Trace.Path_fallback { key; attempt = attempt_no });
+                (* The death may equally sit in the entry pair: from the
+                   second fallback on, replace it too. *)
+                if attempt_no >= 2 then begin
+                  Query.discard_pair node !ab;
+                  match Query.pick_pairs w node ~n:1 with
+                  | [ fresh ] -> ab := fresh
+                  | _ -> ()
+                end;
+                attempt (retries_left - 1)
+              end
+              else cont None)
+      in
+      attempt cfg.Config.anon_path_retries
     in
     greedy w node ~anonymous:true ~key ~fetch k
 

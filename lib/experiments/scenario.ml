@@ -52,11 +52,17 @@ let on_init spec f = { spec with on_init = f :: spec.on_init }
 let on_ready spec f = { spec with on_ready = f :: spec.on_ready }
 let at spec ~time f = { spec with timed = (time, f) :: spec.timed }
 
-type t = { engine : Engine.t; world : Octopus.World.t; spec : spec }
+type t = {
+  engine : Engine.t;
+  world : Octopus.World.t;
+  spec : spec;
+  fault : Octopus.Types.msg Octo_sim.Fault.t option;
+}
 
 let engine t = t.engine
 let world t = t.world
 let duration t = t.spec.duration
+let fault t = t.fault
 
 let add_net_stragglers net ~n ~seed =
   let rng = Rng.create ~seed:(seed + straggler_seed_offset) in
@@ -87,6 +93,9 @@ let build spec =
       ?metrics_bucket:spec.metrics_bucket engine latency ~n:spec.n
   in
   Octopus.Serve.install w;
+  (* A no-op (no hook, no RNG split) unless the config carries a fault
+     plan, so default scenarios keep their historical traces. *)
+  let fault = Octopus.Chaos.install w in
   if spec.stragglers then add_stragglers w ~n:spec.n ~seed:spec.seed;
   let _ca = Octopus.Ca.create w in
   Option.iter (Octopus.World.set_attack w) spec.attack;
@@ -103,7 +112,7 @@ let build spec =
   List.iter
     (fun (time, f) -> Octopus.World.after w ~delay:time (fun () -> f w))
     (List.rev spec.timed);
-  { engine; world = w; spec }
+  { engine; world = w; spec; fault }
 
 let run ?until spec =
   let t = build spec in

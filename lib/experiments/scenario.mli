@@ -65,6 +65,10 @@ val world : t -> Octopus.World.t
 val engine : t -> Octo_sim.Engine.t
 val duration : t -> float
 
+val fault : t -> Octopus.Types.msg Octo_sim.Fault.t option
+(** The fault engine installed from the config's [fault_plan], if any —
+    exposes the injection counters for chaos reports. *)
+
 val add_net_stragglers : 'm Octo_sim.Net.t -> n:int -> seed:int -> unit
 (** The same straggler model applied to a raw network — for the Chord
     and Halo baseline measurements, which do not build a [World]. *)

@@ -1,6 +1,6 @@
 type t = { mutable stopped : bool; mutable departures : int }
 
-let start engine rng ~mean_lifetime ?(rejoin_delay = 1.0) ~addrs ~on_leave ~on_join () =
+let start engine rng ~mean_lifetime ~rejoin_delay ~addrs ~on_leave ~on_join () =
   let t = { stopped = false; departures = 0 } in
   let rec arm addr =
     let lifetime = Rng.exponential rng ~mean:mean_lifetime in
@@ -8,10 +8,15 @@ let start engine rng ~mean_lifetime ?(rejoin_delay = 1.0) ~addrs ~on_leave ~on_j
       (Engine.schedule engine ~delay:lifetime (fun () ->
            if not t.stopped then begin
              t.departures <- t.departures + 1;
+             if Trace.on () then
+               Trace.emit ~time:(Engine.now engine) ~node:addr (Trace.Churn_leave { addr });
              on_leave addr;
              ignore
                (Engine.schedule engine ~delay:rejoin_delay (fun () ->
                     if not t.stopped then begin
+                      if Trace.on () then
+                        Trace.emit ~time:(Engine.now engine) ~node:addr
+                          (Trace.Churn_join { addr });
                       on_join addr;
                       arm addr
                     end))

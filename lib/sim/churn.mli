@@ -6,7 +6,11 @@
     an address set: each tracked address gets an exponential lifetime; on
     expiry [on_leave] fires, then after [rejoin_delay] the slot rejoins via
     [on_join] (with a fresh identity chosen by the protocol layer) and a new
-    lifetime is drawn. *)
+    lifetime is drawn.
+
+    Each leave/join emits a [Trace.Churn_leave] / [Trace.Churn_join] event,
+    so trace consumers can tell protocol-level departures from injected
+    faults ([Trace.Fault_crash]). *)
 
 type t
 
@@ -14,13 +18,15 @@ val start :
   Engine.t ->
   Rng.t ->
   mean_lifetime:float ->
-  ?rejoin_delay:float ->
+  rejoin_delay:float ->
   addrs:int list ->
   on_leave:(int -> unit) ->
   on_join:(int -> unit) ->
   unit ->
   t
-(** [mean_lifetime] is in seconds; [rejoin_delay] defaults to 1 s. *)
+(** [mean_lifetime] and [rejoin_delay] are in seconds. [rejoin_delay] is a
+    required argument: callers take it from [Config.churn_rejoin_delay]
+    rather than relying on a buried default. *)
 
 val stop : t -> unit
 (** Stop scheduling further churn events. *)

@@ -13,6 +13,13 @@ type 'm envelope = {
   mutable payload : 'm;
 }
 
+(* A fault layer's decision about one outgoing message. [Fault_deliver]
+   replaces the single normal delivery with an explicit list, which is how
+   corruption (replacement payload and size), duplication (two entries)
+   and bounded reordering (extra delay) are all expressed. *)
+type 'm delivery = { d_extra : float; d_payload : 'm; d_size : int }
+type 'm fault_verdict = Fault_pass | Fault_drop of string | Fault_deliver of 'm delivery list
+
 type 'm t = {
   engine : Engine.t;
   latency : Latency.t;
@@ -22,7 +29,9 @@ type 'm t = {
   tx : int array;
   rx : int array;
   mutable drop_hook : ('m envelope -> bool) option;
+  mutable fault_hook : ('m envelope -> 'm fault_verdict) option;
   processing : (Rng.t -> float) option array;
+  mutable debug_poison : bool;
   mutable sent : int;
   mutable delivered : int;
   mutable pool : 'm envelope array;
@@ -40,7 +49,9 @@ let create engine latency =
     tx = Array.make n 0;
     rx = Array.make n 0;
     drop_hook = None;
+    fault_hook = None;
     processing = Array.make n None;
+    debug_poison = false;
     sent = 0;
     delivered = 0;
     pool = [||];
@@ -51,8 +62,22 @@ let create engine latency =
    released envelopes are simply left to the GC. *)
 let pool_cap = 256
 
+(* Debug poisoning: instead of recycling, a released envelope has its
+   fields clobbered and is abandoned, so any handler that (incorrectly)
+   retained it sees the poison from its delayed closure instead of
+   silently reading a later message's fields. *)
+let poison_addr = min_int
+
+let poisoned env = env.src = poison_addr && env.dst = poison_addr
+
 let release t env =
-  if t.pool_len < pool_cap then begin
+  if t.debug_poison then begin
+    env.src <- poison_addr;
+    env.dst <- poison_addr;
+    env.size <- min_int;
+    env.sent_at <- neg_infinity
+  end
+  else if t.pool_len < pool_cap then begin
     if t.pool_len >= Array.length t.pool then begin
       let grown = Array.make (Int.min pool_cap (max 16 (2 * Array.length t.pool))) env in
       Array.blit t.pool 0 grown 0 t.pool_len;
@@ -85,6 +110,37 @@ let register t addr handler =
 let set_alive t addr alive = t.alive.(addr) <- alive
 let is_alive t addr = t.alive.(addr)
 
+(* Schedule one delivery of [env]. The jitter and processing draws happen
+   here, in delivery order, so the no-fault path consumes the RNG stream
+   exactly as it always did (one jitter draw, one optional processing
+   draw, one [schedule]). *)
+let deliver t ~extra env =
+  let src = env.src and dst = env.dst and size = env.size in
+  let delay = Latency.sample_one_way t.latency t.jitter_rng src dst in
+  let proc =
+    match t.processing.(dst) with Some sampler -> sampler t.jitter_rng | None -> 0.0
+  in
+  ignore
+    (Engine.schedule t.engine ~delay:(delay +. proc +. extra) (fun () ->
+         let now = Engine.now t.engine in
+         (if t.alive.(dst) then begin
+            match t.handlers.(dst) with
+            | Some handler ->
+              t.delivered <- t.delivered + 1;
+              t.rx.(dst) <- t.rx.(dst) + size;
+              if Trace.on () then
+                Trace.emit ~time:now ~node:dst (Trace.Net_deliver { src; dst; size });
+              handler env
+            | None ->
+              if Trace.on () then
+                Trace.emit ~time:now ~node:dst
+                  (Trace.Net_drop { src; dst; size; reason = "unregistered" })
+          end
+          else if Trace.on () then
+            Trace.emit ~time:now ~node:dst
+              (Trace.Net_drop { src; dst; size; reason = "dead" }));
+         release t env))
+
 let send t ~src ~dst ~size payload =
   let sent_at = Engine.now t.engine in
   let env = acquire t ~src ~dst ~size ~sent_at payload in
@@ -100,33 +156,32 @@ let send t ~src ~dst ~size payload =
     release t env
   end
   else begin
-    let delay = Latency.sample_one_way t.latency t.jitter_rng src dst in
-    let extra =
-      match t.processing.(dst) with Some sampler -> sampler t.jitter_rng | None -> 0.0
-    in
-    ignore
-      (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
-           let now = Engine.now t.engine in
-           (if t.alive.(dst) then begin
-              match t.handlers.(dst) with
-              | Some handler ->
-                t.delivered <- t.delivered + 1;
-                t.rx.(dst) <- t.rx.(dst) + size;
-                if Trace.on () then
-                  Trace.emit ~time:now ~node:dst (Trace.Net_deliver { src; dst; size });
-                handler env
-              | None ->
-                if Trace.on () then
-                  Trace.emit ~time:now ~node:dst
-                    (Trace.Net_drop { src; dst; size; reason = "unregistered" })
-            end
-            else if Trace.on () then
-              Trace.emit ~time:now ~node:dst
-                (Trace.Net_drop { src; dst; size; reason = "dead" }));
-           release t env))
+    match t.fault_hook with
+    | None -> deliver t ~extra:0.0 env
+    | Some hook -> (
+      match hook env with
+      | Fault_pass -> deliver t ~extra:0.0 env
+      | Fault_drop reason ->
+        if Trace.on () then
+          Trace.emit ~time:sent_at ~node:src (Trace.Net_drop { src; dst; size; reason });
+        release t env
+      | Fault_deliver [] -> release t env
+      | Fault_deliver (first :: rest) ->
+        (* The transmit accounting above already counted the original
+           size; each delivery is received (and traced) at its own size. *)
+        env.payload <- first.d_payload;
+        env.size <- first.d_size;
+        deliver t ~extra:first.d_extra env;
+        List.iter
+          (fun d ->
+            deliver t ~extra:d.d_extra
+              (acquire t ~src ~dst ~size:d.d_size ~sent_at d.d_payload))
+          rest)
   end
 
 let set_drop_hook t hook = t.drop_hook <- hook
+let set_fault_hook t hook = t.fault_hook <- hook
+let set_debug_poison t flag = t.debug_poison <- flag
 let set_processing_delay t addr sampler = t.processing.(addr) <- sampler
 let tx_bytes t addr = t.tx.(addr)
 let rx_bytes t addr = t.rx.(addr)

@@ -47,6 +47,45 @@ val set_drop_hook : 'm t -> ('m envelope -> bool) option -> unit
 (** When the hook returns [true] for an envelope, it is dropped in flight
     (used to model selective-DoS adversaries). *)
 
+(** {2 Fault interposition}
+
+    A single optional hook consulted after the drop hook, through which a
+    fault-injection layer ({!Fault}) rewrites traffic. When no hook is
+    installed, [send] takes exactly the historical code path — same RNG
+    draws, same trace events — so fault support is byte-trace-free and
+    zero-cost for ordinary runs. *)
+
+type 'm delivery = {
+  d_extra : float;  (** delay added on top of the sampled latency *)
+  d_payload : 'm;
+  d_size : int;  (** received (and rx-accounted) size *)
+}
+
+type 'm fault_verdict =
+  | Fault_pass  (** deliver normally *)
+  | Fault_drop of string  (** drop; the string becomes the trace reason *)
+  | Fault_deliver of 'm delivery list
+      (** replace the normal delivery: corruption is a rewritten
+          payload/size, duplication a second entry, reordering an extra
+          delay. Transmit accounting keeps the original size; each entry
+          is received at its own size. *)
+
+val set_fault_hook : 'm t -> ('m envelope -> 'm fault_verdict) option -> unit
+
+(** {2 Envelope-recycling hazard detection}
+
+    Envelopes are pooled, so a handler that retains one past its return
+    sees a later message's fields — a silent corruption. In debug-poison
+    mode, released envelopes are clobbered (addresses [min_int], size
+    [min_int], [sent_at] = [neg_infinity]) and withheld from the pool, so
+    a retained envelope stays visibly poisoned forever. *)
+
+val set_debug_poison : 'm t -> bool -> unit
+
+val poisoned : 'm envelope -> bool
+(** [true] iff the envelope was released under debug-poison mode — i.e.
+    reading it now is a use-after-release bug. *)
+
 val set_processing_delay : 'm t -> addr -> (Rng.t -> float) option -> unit
 (** Per-node handler delay, sampled per delivered message: models slow or
     overloaded hosts (the PlanetLab stragglers that dominate tail

@@ -232,4 +232,23 @@ let cancel t = function
       if retire t e then pump t e.e_dst
     | _ -> ())
 
+let fail_queued t ~dst =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.queues dst with
+    | None -> ()
+    | Some q ->
+      (* Drain into a list first: give-up callbacks may issue fresh calls
+         to the same destination, and those must queue normally rather
+         than be swept up by this pass. *)
+      let doomed = ref [] in
+      while not (Queue.is_empty q) do
+        let e = Queue.pop q in
+        if e.e_state = Queued then doomed := e :: !doomed
+      done;
+      List.iter
+        (fun e ->
+          cancel_timer e;
+          give_up t e)
+        (List.rev !doomed)
+
 let after t ~delay f = Timer_tok (Engine.schedule t.engine ~delay f)

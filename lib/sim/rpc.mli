@@ -122,5 +122,13 @@ val in_flight : 'm t -> dst:int -> int
 val queued : 'm t -> dst:int -> int
 (** Calls waiting in [dst]'s backpressure queue. *)
 
+val fail_queued : 'm t -> dst:int -> unit
+(** Fail every call still queued behind [dst]'s in-flight cap, in FIFO
+    order: each emits [Rpc_giveup] and runs its [on_give_up] callback.
+    Called when [dst] is known dead, so queued calls fail fast instead
+    of waiting to be launched into a void and timing out one slot at a
+    time. Calls already flying are left to their own timeouts. No-op
+    when the cap is unbounded (no queues exist). *)
+
 val outstanding : 'm t -> int
 (** Total live calls (queued, flying or in backoff). *)

@@ -16,6 +16,9 @@ type data =
   | Circuit_relay of { relay : int }
   | Circuit_built of { relays : int list }
   | Circuit_torn of { reason : string }
+  | Circuit_rebuilt of { attempt : int }
+  | Circuit_abandoned of { attempts : int }
+  | Path_fallback of { key : int; attempt : int }
   | Lookup_start of { key : int; anonymous : bool }
   | Lookup_hop of { key : int; peer_addr : int; peer_id : int; hop : int }
   | Lookup_done of {
@@ -36,6 +39,14 @@ type data =
   | Ca_report of { kind : string }
   | Ca_outcome of { convicted : int list }
   | Revoked of { addr : int; id : int }
+  | Churn_leave of { addr : int }
+  | Churn_join of { addr : int }
+  | Fault_phase of { fault : string; on : bool }
+  | Fault_corrupt of { src : int; dst : int; size : int }
+  | Fault_dup of { src : int; dst : int }
+  | Fault_reorder of { src : int; dst : int; extra : float }
+  | Fault_crash of { addr : int }
+  | Fault_recover of { addr : int }
 
 type event = { seq : int; time : float; node : int; data : data }
 
@@ -134,6 +145,11 @@ let data_fields = function
   | Circuit_relay { relay } -> ("circuit_relay", [ ("relay", string_of_int relay) ])
   | Circuit_built { relays } -> ("circuit_built", [ ("relays", ints relays) ])
   | Circuit_torn { reason } -> ("circuit_torn", [ ("reason", "\"" ^ json_escape reason ^ "\"") ])
+  | Circuit_rebuilt { attempt } -> ("circuit_rebuilt", [ ("attempt", string_of_int attempt) ])
+  | Circuit_abandoned { attempts } ->
+    ("circuit_abandoned", [ ("attempts", string_of_int attempts) ])
+  | Path_fallback { key; attempt } ->
+    ("path_fallback", [ ("key", string_of_int key); ("attempt", string_of_int attempt) ])
   | Lookup_start { key; anonymous } ->
     ("lookup_start", [ ("key", string_of_int key); ("anonymous", string_of_bool anonymous) ])
   | Lookup_hop { key; peer_addr; peer_id; hop } ->
@@ -155,6 +171,21 @@ let data_fields = function
   | Ca_report { kind } -> ("ca_report", [ ("kind", "\"" ^ json_escape kind ^ "\"") ])
   | Ca_outcome { convicted } -> ("ca_outcome", [ ("convicted", ints convicted) ])
   | Revoked { addr; id } -> ("revoked", [ ("addr", string_of_int addr); ("id", string_of_int id) ])
+  | Churn_leave { addr } -> ("churn_leave", [ ("addr", string_of_int addr) ])
+  | Churn_join { addr } -> ("churn_join", [ ("addr", string_of_int addr) ])
+  | Fault_phase { fault; on } ->
+    ("fault_phase", [ ("fault", "\"" ^ json_escape fault ^ "\""); ("on", string_of_bool on) ])
+  | Fault_corrupt { src; dst; size } ->
+    ( "fault_corrupt",
+      [ ("src", string_of_int src); ("dst", string_of_int dst); ("size", string_of_int size) ] )
+  | Fault_dup { src; dst } ->
+    ("fault_dup", [ ("src", string_of_int src); ("dst", string_of_int dst) ])
+  | Fault_reorder { src; dst; extra } ->
+    ( "fault_reorder",
+      [ ("src", string_of_int src); ("dst", string_of_int dst);
+        ("extra", Printf.sprintf "%.6f" extra) ] )
+  | Fault_crash { addr } -> ("fault_crash", [ ("addr", string_of_int addr) ])
+  | Fault_recover { addr } -> ("fault_recover", [ ("addr", string_of_int addr) ])
 
 let to_json ev =
   let tag, fields = data_fields ev.data in

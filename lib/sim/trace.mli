@@ -35,6 +35,13 @@ type data =
   | Circuit_relay of { relay : int }
   | Circuit_built of { relays : int list }
   | Circuit_torn of { reason : string }
+  | Circuit_rebuilt of { attempt : int }
+      (** a failed circuit was replaced by a fresh one (attempt-th rebuild) *)
+  | Circuit_abandoned of { attempts : int }
+      (** the rebuild budget ran out; the session gives up *)
+  | Path_fallback of { key : int; attempt : int }
+      (** an anonymous lookup step died with its path and is being retried
+          over a fresh relay pair (distinct from the per-RPC retry ladder) *)
   | Lookup_start of { key : int; anonymous : bool }
   | Lookup_hop of { key : int; peer_addr : int; peer_id : int; hop : int }
   | Lookup_done of {
@@ -56,6 +63,20 @@ type data =
   | Ca_report of { kind : string }
   | Ca_outcome of { convicted : int list }
   | Revoked of { addr : int; id : int }
+  | Churn_leave of { addr : int }
+  | Churn_join of { addr : int }
+  | Fault_phase of { fault : string; on : bool }
+      (** a scheduled fault window opened ([on = true]) or healed; [fault]
+          is ["partition"], ["link"], ["corrupt"], ["duplicate"],
+          ["reorder"] or ["outage"] *)
+  | Fault_corrupt of { src : int; dst : int; size : int }
+      (** the payload was garbled in flight; [size] is the perturbed
+          delivered size *)
+  | Fault_dup of { src : int; dst : int }
+  | Fault_reorder of { src : int; dst : int; extra : float }
+      (** the message was held back [extra] seconds past its latency *)
+  | Fault_crash of { addr : int }
+  | Fault_recover of { addr : int }
 
 type event = { seq : int; time : float; node : int; data : data }
 (** [node] is the acting node's address, or [-1] for engine/pending

@@ -637,7 +637,7 @@ let test_churn_stop () =
   let e = Engine.create ~seed:1 () in
   let rng = Rng.create ~seed:2 in
   let c =
-    Churn.start e rng ~mean_lifetime:5.0 ~addrs:[ 0 ] ~on_leave:(fun _ -> ())
+    Churn.start e rng ~mean_lifetime:5.0 ~rejoin_delay:1.0 ~addrs:[ 0 ] ~on_leave:(fun _ -> ())
       ~on_join:(fun _ -> ()) ()
   in
   Engine.run e ~until:20.0;
