@@ -165,6 +165,30 @@ let kernels =
                Octo_sim.Net.send net ~src:(i mod 8) ~dst:((i + 3) mod 8) ~size:36 ()
              done;
              Octo_sim.Engine.run engine ~until:(Octo_sim.Engine.now engine +. 5.0)));
+      (* Open-loop load harness: the Zipf sampler drawn per query. *)
+      Test.make ~name:"load/zipf-sample"
+        (let zipf = Octo_experiments.Workload.Zipf.create ~n:512 () in
+         let zrng = Octo_sim.Rng.create ~seed:12 in
+         Staged.stage (fun () ->
+             ignore (Octo_experiments.Workload.Zipf.sample zipf zrng)));
+      (* Open-loop load harness: one latency sample into the bounded
+         quantile sketch — must stay allocation-free (the unit suite
+         asserts zero minor words; this kernel tracks the cycle cost). *)
+      Test.make ~name:"load/sketch-record"
+        (let sketch = Octo_sim.Metrics.Sketch.create () in
+         let srng = Octo_sim.Rng.create ~seed:13 in
+         Staged.stage (fun () ->
+             Octo_sim.Metrics.Sketch.record sketch (Octo_sim.Rng.unit_float srng)));
+      (* Open-loop load harness: a miniature end-to-end run — world
+         bootstrap, 64 Poisson arrivals, sketch percentiles, invariant
+         teardown. Tracks the whole-engine cost per run, not per query. *)
+      Test.make ~name:"load/open-loop"
+        (Staged.stage (fun () ->
+             let r =
+               Octo_experiments.Workload.run ~n:16 ~queries:64
+                 ~regime:Octo_experiments.Workload.Steady ()
+             in
+             assert (r.Octo_experiments.Workload.completed > 0)));
       (* Crypto substrate reference point. *)
       Test.make ~name:"substrate/sha256-1KiB"
         (let buf = Bytes.create 1024 in
@@ -258,7 +282,17 @@ let gate_regressions ~fail_above ~baseline rows =
       Printf.eprintf "bench: %d kernel(s) regressed more than %.1f%%\n" (List.length over) pct;
       exit code
     end
-    else Printf.printf "  all %d paired kernels within %.1f%% of baseline\n" (List.length ds) pct
+    else begin
+      let only_base, only_now = Bench_compare.unpaired ~baseline ~current:rows in
+      let unpaired_note =
+        if only_base = [] && only_now = [] then ""
+        else
+          Printf.sprintf " (%d baseline-only, %d new kernel(s) not gated)"
+            (List.length only_base) (List.length only_now)
+      in
+      Printf.printf "  all %d paired kernels within %.1f%% of baseline%s\n" (List.length ds)
+        pct unpaired_note
+    end
 
 let run_bechamel ~json_out ~compare_with ~fail_above () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in

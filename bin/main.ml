@@ -332,10 +332,110 @@ let chaos_cmd =
              duplication/reordering, crash bursts, regional outages")
     Term.(const run $ regimes $ n $ duration $ seed $ trace_file $ check)
 
+(* ------------------------------------------------------------------ *)
+(* load: open-loop heavy-traffic workload *)
+
+let load_cmd =
+  let run regime n queries seed cache chaos trace_file check =
+    if n < 8 then begin
+      prerr_endline "octopus-repro: load needs -n >= 8";
+      exit 2
+    end;
+    if queries < 1 then begin
+      prerr_endline "octopus-repro: load needs --queries >= 1";
+      exit 2
+    end;
+    let name = Workload.regime_name regime in
+    let r = Workload.run ~n ~seed ~queries ~cache ~chaos ~regime () in
+    let rate = Workload.success_rate r in
+    let floor = Workload.threshold regime in
+    let q s p = Octo_sim.Metrics.Sketch.quantile s p in
+    Printf.printf
+      "load %-7s queries %d issued %d done %d ok %d (%.1f%%, floor %.0f%%) skipped %d  sim %.0fs\n"
+      name r.Workload.requested r.Workload.issued r.Workload.completed r.Workload.converged
+      (100. *. rate) (100. *. floor) r.Workload.skipped r.Workload.duration;
+    Printf.printf "load %-7s latency p50 %.3fs p99 %.3fs p999 %.3fs max %.3fs (+/-%.1f%% rel err)\n"
+      name (q r.Workload.latency 0.5) (q r.Workload.latency 0.99)
+      (q r.Workload.latency 0.999)
+      (Octo_sim.Metrics.Sketch.max r.Workload.latency)
+      (100. *. Octo_sim.Metrics.Sketch.relative_error);
+    Printf.printf "load %-7s bandwidth/node mean %s B/s p99 %s B/s  rpc queued %d\n" name
+      (Octo_sim.Metrics.fmt_float (Octo_sim.Metrics.Sketch.mean r.Workload.bandwidth))
+      (Octo_sim.Metrics.fmt_float (q r.Workload.bandwidth 0.99))
+      r.Workload.rpc_queued;
+    if cache then begin
+      Printf.printf "load %-7s cache hits %d/%d (%.1f%%)\n" name r.Workload.cache_hits
+        r.Workload.completed
+        (if r.Workload.completed = 0 then 0.0
+         else 100. *. float_of_int r.Workload.cache_hits /. float_of_int r.Workload.completed);
+      match r.Workload.entropy with
+      | Some e ->
+        Printf.printf
+          "load %-7s anonymity H %.3f -> %.3f bits (leaked %.3f, degree %.3f) over %d observed / %d suppressed\n"
+          name e.Octo_anonymity.Cache_entropy.h_baseline
+          e.Octo_anonymity.Cache_entropy.h_effective e.Octo_anonymity.Cache_entropy.bits_leaked
+          e.Octo_anonymity.Cache_entropy.degree e.Octo_anonymity.Cache_entropy.observed_total
+          e.Octo_anonymity.Cache_entropy.suppressed_total
+      | None -> ()
+    end;
+    (match trace_file with
+    | Some path -> (
+      try
+        let oc = open_out path in
+        Octo_sim.Trace.dump_jsonl r.Workload.trace oc;
+        close_out oc;
+        Printf.printf "load %-7s trace written to %s\n" name path
+      with Sys_error e ->
+        Printf.eprintf "octopus-repro: cannot write trace file: %s\n" e;
+        exit 2)
+    | None -> ());
+    let failed = ref false in
+    if not (Workload.passed r) then begin
+      Printf.printf "load %-7s FAILED: success rate below the documented floor\n" name;
+      failed := true
+    end;
+    if check then begin
+      Octopus.Invariant.report r.Workload.checker Format.std_formatter;
+      if not (Octopus.Invariant.ok r.Workload.checker) then failed := true
+    end;
+    if !failed then exit 1
+  in
+  let regime =
+    let names = List.map (fun r -> (Workload.regime_name r, r)) Workload.all_regimes in
+    Arg.(value & opt (enum names) Workload.Steady
+         & info [ "regime" ] ~docv:"REGIME" ~doc:"Traffic regime: steady, burst or diurnal.")
+  in
+  let n = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Network size.") in
+  let queries =
+    Arg.(value & opt int 2000 & info [ "queries" ] ~doc:"Open-loop arrivals to generate.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let cache =
+    Arg.(value & flag & info [ "cache" ]
+           ~doc:"Enable the hot-key result cache and print its anonymity-impact report.")
+  in
+  let chaos =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"Overlay the dup-reorder fault plan plus graceful-degradation knobs.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the run's event stream as JSON Lines.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Run the online invariant checker; exit 1 on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Open-loop traffic: Poisson/MMPP/diurnal arrivals, Zipf keys, latency \
+             CDFs from a bounded-memory sketch, optional hot-key cache")
+    Term.(const run $ regime $ n $ queries $ seed $ cache $ chaos $ trace_file $ check)
+
 let () =
   let doc = "Octopus: anonymous and secure DHT lookup — paper reproduction harness" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "octopus-repro" ~doc)
           [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; trace_cmd;
-            chaos_cmd; all_cmd ]))
+            chaos_cmd; load_cmd; all_cmd ]))

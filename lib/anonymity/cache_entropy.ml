@@ -1,0 +1,52 @@
+type observation = {
+  key : int;
+  observed : int;
+  suppressed : int;
+  holders : float;
+}
+
+type report = {
+  n : int;
+  h_baseline : float;
+  h_effective : float;
+  bits_leaked : float;
+  degree : float;
+  observed_total : int;
+  suppressed_total : int;
+}
+
+let analyze ~n obs =
+  let h_baseline = Entropy.max_entropy n in
+  let observed_total = List.fold_left (fun acc o -> acc + o.observed) 0 obs in
+  let suppressed_total = List.fold_left (fun acc o -> acc + o.suppressed) 0 obs in
+  let h_effective =
+    if observed_total = 0 then h_baseline
+    else begin
+      (* Per observed query, the adversary rules out every node holding a
+         fresh cached copy -- those would have answered locally and never
+         appeared on the wire -- leaving a uniform set of n - holders
+         candidates. Average the per-key set entropies weighted by how
+         often each key was actually seen. *)
+      let acc =
+        List.fold_left
+          (fun acc o ->
+            if o.observed = 0 then acc
+            else begin
+              let excluded = int_of_float (Float.round o.holders) in
+              let set = Stdlib.max 1 (n - excluded) in
+              acc +. (float_of_int o.observed *. Entropy.max_entropy set)
+            end)
+          0.0 obs
+      in
+      acc /. float_of_int observed_total
+    end
+  in
+  {
+    n;
+    h_baseline;
+    h_effective;
+    bits_leaked = h_baseline -. h_effective;
+    degree = (if h_baseline > 0.0 then h_effective /. h_baseline else 0.0);
+    observed_total;
+    suppressed_total;
+  }

@@ -1,0 +1,40 @@
+(** Anonymity impact of the hot-key result cache.
+
+    Caching trades traffic for unlinkability (Backes et al., "Adding
+    Query Privacy to Robust DHTs"): a node holding a fresh cached result
+    for a key answers repeats locally, so a network observer who {e
+    does} see a query for that key can exclude every current cache
+    holder from the initiator anonymity set -- they had no reason to ask
+    the network. This module reruns the uniform-set entropy model with
+    that exclusion applied per observed query.
+
+    Suppressed queries (cache hits) never reach the observer at all;
+    they shrink the adversary's sample, which is the privacy {e gain}
+    side of the trade-off, reported here as [suppressed_total] but not
+    folded into the entropy (the model is per-observed-query). *)
+
+type observation = {
+  key : int;
+  observed : int;  (** queries for [key] that reached the network *)
+  suppressed : int;  (** queries for [key] answered from cache *)
+  holders : float;
+      (** mean number of nodes holding a fresh cached copy of [key] at
+          the instants the observed queries were issued *)
+}
+
+type report = {
+  n : int;  (** population size (baseline anonymity set) *)
+  h_baseline : float;  (** log2 n: entropy with no cache *)
+  h_effective : float;
+      (** observed-query-weighted mean of log2 (n - holders); equals
+          [h_baseline] when nothing was observed *)
+  bits_leaked : float;  (** h_baseline - h_effective, >= 0 *)
+  degree : float;  (** h_effective / h_baseline (Díaz-style degree) *)
+  observed_total : int;
+  suppressed_total : int;
+}
+
+val analyze : n:int -> observation list -> report
+(** [analyze ~n obs] with one observation per key. Keys with zero
+    observed queries contribute nothing to the entropy average (an
+    adversary who never saw the key learned nothing from it). *)

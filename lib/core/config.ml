@@ -68,6 +68,10 @@ type t = {
   anon_path_retries : int;
   circuit_rebuild_attempts : int;
   ring_repair : bool;
+  (* hot-key result cache *)
+  result_cache : bool;
+  result_cache_ttl : float;
+  result_cache_cap : int;
 }
 
 let default =
@@ -132,6 +136,9 @@ let default =
     anon_path_retries = 0;
     circuit_rebuild_attempts = 2;
     ring_repair = false;
+    result_cache = false;
+    result_cache_ttl = 30.0;
+    result_cache_cap = 65536;
   }
 
 let paper_security = default

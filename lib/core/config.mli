@@ -100,6 +100,20 @@ type t = {
           probe them during stabilization, re-merging their successor
           lists once they respond — the post-partition re-convergence
           path; off by default for trace compatibility *)
+  result_cache : bool;
+      (** when set, initiators remember the owners their own lookups
+          resolved and answer repeats of the same key locally until the
+          entry expires; off by default so traces stay byte-identical to
+          cacheless builds. Cached answers never feed routing or
+          verification state, and the whole cache is flushed whenever a
+          certificate is revoked (like the verification cache). *)
+  result_cache_ttl : float;
+      (** seconds a cached lookup result stays servable; expiry is
+          strict (an entry hit exactly [ttl] after it was stored is
+          already a miss) *)
+  result_cache_cap : int;
+      (** entry cap across all nodes; on overflow the cache resets,
+          mirroring the verification cache's bounded-memory policy *)
 }
 
 val default : t

@@ -73,6 +73,7 @@ type t = {
   mutable attack : attack_spec;
   mutable next_sid : int;
   verify_cache : (string, bool) Hashtbl.t;
+  rcache : Rcache.t;
   corrupted_docs : (string, unit) Hashtbl.t;
   mutable corrupt_accepted : int;
   metrics : metrics;
@@ -439,14 +440,30 @@ let revoke t addr =
     if Trace.on () then
       Trace.emit ~time:(now t) ~node:addr (Trace.Revoked { addr; id = n.peer.Peer.id });
     Cert.revoke t.authority ~now:(now t) ~node_id:n.peer.Peer.id;
-    (* Revocation changes what verifies; drop every cached verdict. *)
+    (* Revocation changes what verifies; drop every cached verdict, and
+       every cached lookup result the revoked identity may have vouched
+       for. *)
     Hashtbl.reset t.verify_cache;
+    Rcache.flush t.rcache;
     kill t addr;
     (* CRL distribution: honest nodes purge the ejected identity. *)
     Array.iter (fun other -> if other.addr <> addr then Rtable.remove other.rt ~addr) t.nodes
   end
 
 let sample_metrics t = Series.set t.metrics.mal_frac ~time:(now t) (malicious_fraction t)
+
+(* Hot-key result cache, fully gated on the config flag: with the flag
+   off neither counters nor entries are ever touched, keeping disabled
+   runs byte-identical to cacheless builds. *)
+let cache_find t (node : node) ~key =
+  if not t.cfg.Config.result_cache then None
+  else Rcache.find t.rcache ~now:(now t) ~node:node.addr ~key
+
+let cache_store t (node : node) ~key owner =
+  if t.cfg.Config.result_cache then
+    Rcache.store t.rcache ~now:(now t) ~node:node.addr ~key owner
+
+let result_cache t = t.rcache
 
 (* -- experiment-facing accessors ------------------------------------- *)
 
@@ -603,6 +620,8 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
       attack = no_attack;
       next_sid = 0;
       verify_cache = Hashtbl.create 1024;
+      rcache =
+        Rcache.create ~ttl:cfg.Config.result_cache_ttl ~cap:cfg.Config.result_cache_cap;
       corrupted_docs = Hashtbl.create 16;
       corrupt_accepted = 0;
       metrics;

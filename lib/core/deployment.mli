@@ -88,6 +88,9 @@ type t = {
   verify_cache : (string, bool) Hashtbl.t;
       (** cached time-independent verification verdicts, keyed by
           (digest, signature, cert tag); bounded, flushed on revocation *)
+  rcache : Rcache.t;
+      (** hot-key lookup result cache; inert unless
+          [Config.result_cache], flushed on revocation *)
   corrupted_docs : (string, unit) Hashtbl.t;
       (** cache keys of documents the fault layer garbled in flight; any
           verifier accepting one bumps [corrupt_accepted] *)
@@ -243,6 +246,20 @@ val revoke : t -> int -> unit
 
 val sample_metrics : t -> unit
 (** Record the current malicious fraction into the time series. *)
+
+val cache_find : t -> node -> key:int -> Peer.t option
+(** Fresh hot-key cache entry for [key] at [node]. Always [None] (with
+    no counter or RNG activity at all) unless [Config.result_cache] is
+    set, so disabled configurations stay byte-identical to cacheless
+    builds. *)
+
+val cache_store : t -> node -> key:int -> Peer.t -> unit
+(** Remember the owner a completed lookup resolved. No-op unless
+    [Config.result_cache] is set. *)
+
+val result_cache : t -> Rcache.t
+(** The underlying cache, for accounting ({!Rcache.hits} etc.) and the
+    anonymity model's {!Rcache.holders} probe. Flushed by {!revoke}. *)
 
 (* -- experiment-facing accessors ----------------------------------- *)
 

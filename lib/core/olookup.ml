@@ -15,6 +15,7 @@ type result = {
   queried : Peer.t list;
   final_table : Types.signed_table option;
   elapsed : float;
+  from_cache : bool;
 }
 
 let max_hops = 24
@@ -62,6 +63,7 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
         queried = List.rev !queried;
         final_table = !final_table;
         elapsed = World.now w -. t0;
+        from_cache = false;
       }
   in
   let best_candidate () =
@@ -150,8 +152,34 @@ let fire_dummies w (node : World.node) ~ab ~pairs =
 
 let anonymous w (node : World.node) ~key k =
   let cfg = w.World.cfg in
+  (* Hot-key cache probe (no-op, no RNG, unless [Config.result_cache]).
+     A hit answers synchronously without spending relay pairs or network
+     traffic -- and without the Lookup_start/Lookup_done events, so the
+     invariant checker's convergence ledger only ever sees answers the
+     network actually produced. *)
+  match World.cache_find w node ~key with
+  | Some owner ->
+    if Trace.on () then
+      Trace.emit ~time:(World.now w) ~node:node.World.addr (Trace.Cache_hit { key });
+    k
+      {
+        owner = Some owner;
+        hops = 0;
+        queried = [];
+        final_table = None;
+        elapsed = 0.0;
+        from_cache = true;
+      }
+  | None ->
+  let k r =
+    (match r.owner with
+    | Some owner -> World.cache_store w node ~key owner
+    | None -> ());
+    k r
+  in
   match Query.pick_pairs w node ~n:(1 + max_hops + cfg.Config.num_dummies) with
-  | [] -> k { owner = None; hops = 0; queried = []; final_table = None; elapsed = 0.0 }
+  | [] ->
+    k { owner = None; hops = 0; queried = []; final_table = None; elapsed = 0.0; from_cache = false }
   | ab0 :: rest ->
     (* The entry pair is replaced on repeated path failures, so it lives
        in a ref; the initial value seeds the dummy traffic and the

@@ -19,6 +19,10 @@ type result = {
   final_table : Types.signed_table option;
       (** the signed table whose successor list resolved the key *)
   elapsed : float;
+  from_cache : bool;
+      (** answered from the hot-key result cache: zero hops, zero
+          network traffic, [elapsed = 0]. Only {!anonymous} consults the
+          cache, and only when [Config.result_cache] is set. *)
 }
 
 val anonymous : World.t -> World.node -> key:int -> (result -> unit) -> unit

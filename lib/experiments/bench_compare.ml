@@ -188,6 +188,14 @@ let deltas ~baseline ~current =
             })
     current
 
+let unpaired ~baseline ~current =
+  let only_in a b =
+    List.filter_map
+      (fun (kernel, _) -> if List.mem_assoc kernel b then None else Some kernel)
+      a
+  in
+  (only_in baseline current, only_in current baseline)
+
 let regressions ~fail_above ds = List.filter (fun d -> d.pct > fail_above) ds
 
 let worst = function

@@ -90,6 +90,121 @@ module Dist = struct
     Array.sub t.data 0 t.len
 end
 
+module Sketch = struct
+  (* DDSketch-style log-bucketed histogram. With growth factor gamma, any
+     positive value v maps to bucket ceil(log_gamma v), whose midpoint
+     estimate 2*gamma^i/(gamma+1) is within (gamma-1)/(gamma+1) relative
+     error of every value in the bucket. gamma = 1.02 gives ~0.99%. *)
+  let gamma = 1.02
+  let relative_error = (gamma -. 1.0) /. (gamma +. 1.0)
+  let log_gamma = log gamma
+
+  (* Fixed index range covering [1e-9, 1e9]: ceil(log_gamma 1e-9) = -1046,
+     ceil(log_gamma 1e9) = 1047. Values outside are clamped to the edge
+     buckets, so the error bound holds only inside the covered range --
+     nine decades on either side of 1.0 is far wider than any latency or
+     bandwidth figure the simulator produces. *)
+  let min_index = -1047
+  let max_index = 1047
+  let n_buckets = max_index - min_index + 1
+
+  type t = {
+    counts : int array;
+    mutable zeros : int; (* samples <= 0.0, reported as value 0.0 *)
+    mutable count : int;
+    (* sum/min/max live in a float array rather than mutable record
+       fields: float-array stores never allocate, while writing a boxed
+       float into a mixed record would. [record] must be allocation-free
+       so a million-query run costs no GC pressure per sample. *)
+    stats : float array; (* [| sum; min; max |] *)
+  }
+
+  let create () =
+    {
+      counts = Array.make n_buckets 0;
+      zeros = 0;
+      count = 0;
+      stats = [| 0.0; infinity; neg_infinity |];
+    }
+
+  let record t v =
+    t.count <- t.count + 1;
+    t.stats.(0) <- t.stats.(0) +. v;
+    if v < t.stats.(1) then t.stats.(1) <- v;
+    if v > t.stats.(2) then t.stats.(2) <- v;
+    if v <= 0.0 then t.zeros <- t.zeros + 1
+    else begin
+      let i = int_of_float (Float.ceil (log v /. log_gamma)) in
+      let i =
+        if i < min_index then min_index else if i > max_index then max_index else i
+      in
+      t.counts.(i - min_index) <- t.counts.(i - min_index) + 1
+    end
+
+  let count t = t.count
+  let sum t = t.stats.(0)
+  let mean t = if t.count = 0 then 0.0 else t.stats.(0) /. float_of_int t.count
+  let min t = if t.count = 0 then 0.0 else t.stats.(1)
+  let max t = if t.count = 0 then 0.0 else t.stats.(2)
+  let value_of_index i = 2.0 *. exp (float_of_int i *. log_gamma) /. (gamma +. 1.0)
+
+  (* Same rank convention as Dist.percentile: index floor(q * (n-1)) of the
+     sorted samples, so the two agree up to the bucket error bound. *)
+  let quantile t q =
+    if t.count = 0 then 0.0
+    else begin
+      let rank = int_of_float (q *. float_of_int (t.count - 1)) in
+      let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+      if rank < t.zeros then 0.0
+      else begin
+        let remaining = ref (rank - t.zeros) in
+        let result = ref t.stats.(2) in
+        (try
+           for j = 0 to n_buckets - 1 do
+             let c = t.counts.(j) in
+             if c > 0 then
+               if !remaining < c then begin
+                 result := value_of_index (j + min_index);
+                 raise Exit
+               end
+               else remaining := !remaining - c
+           done
+         with Exit -> ());
+        !result
+      end
+    end
+
+  let merge ~into src =
+    for j = 0 to n_buckets - 1 do
+      into.counts.(j) <- into.counts.(j) + src.counts.(j)
+    done;
+    into.zeros <- into.zeros + src.zeros;
+    into.count <- into.count + src.count;
+    into.stats.(0) <- into.stats.(0) +. src.stats.(0);
+    if src.stats.(1) < into.stats.(1) then into.stats.(1) <- src.stats.(1);
+    if src.stats.(2) > into.stats.(2) then into.stats.(2) <- src.stats.(2)
+
+  let copy t =
+    { counts = Array.copy t.counts; zeros = t.zeros; count = t.count; stats = Array.copy t.stats }
+
+  let buckets t =
+    let acc = ref [] in
+    for j = n_buckets - 1 downto 0 do
+      if t.counts.(j) > 0 then acc := (j + min_index, t.counts.(j)) :: !acc
+    done;
+    let base = !acc in
+    if t.zeros > 0 then (Stdlib.min_int, t.zeros) :: base else base
+
+  let cdf t ~points =
+    if t.count = 0 then []
+    else begin
+      let points = Stdlib.max 2 points in
+      List.init points (fun k ->
+          let frac = float_of_int k /. float_of_int (points - 1) in
+          (quantile t frac, frac))
+    end
+end
+
 module Series = struct
   type kind = Sum | Gauge
 

@@ -26,6 +26,57 @@ module Dist : sig
   val to_sorted_array : t -> float array
 end
 
+(** Bounded-memory streaming quantile sketch (DDSketch-style log-bucketed
+    histogram). Unlike {!Dist}, which keeps every sample, a [Sketch] is a
+    fixed ~2 KB of buckets regardless of stream length, so it survives
+    million-query open-loop runs. Quantile estimates carry a relative
+    error of at most {!Sketch.relative_error} (~1%) for values in
+    [1e-9, 1e9]; values outside are clamped to the edge buckets. *)
+module Sketch : sig
+  type t
+
+  val relative_error : float
+  (** Worst-case relative error of {!quantile} within the covered range:
+      (gamma - 1) / (gamma + 1) with gamma = 1.02, just under 1%. *)
+
+  val create : unit -> t
+
+  val record : t -> float -> unit
+  (** Add one sample. Allocation-free (no GC pressure per sample);
+      values [<= 0.0] are counted in a dedicated zero bucket and
+      reported as [0.0] by {!quantile}. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min : t -> float
+  (** Exact (not bucketed) minimum; 0 on empty, like {!Dist.min}. *)
+
+  val max : t -> float
+  (** Exact maximum; 0 on empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1]; 0 on empty. Uses the same rank
+      convention as {!Dist.percentile} (index [floor (q * (n-1))] of the
+      sorted stream), so the two agree up to {!relative_error}. *)
+
+  val merge : into:t -> t -> unit
+  (** Bucket-wise merge of [src] into [into]. Exactly associative and
+      commutative on bucket counts. *)
+
+  val copy : t -> t
+
+  val buckets : t -> (int * int) list
+  (** Non-empty [(bucket_index, count)] pairs in ascending index order;
+      the zero bucket, if occupied, appears first as [(min_int, zeros)].
+      Two sketches with equal [buckets] lists answer every quantile query
+      identically -- used by the merge-associativity tests. *)
+
+  val cdf : t -> points:int -> (float * float) list
+  (** [(value, fraction <= value)] pairs at evenly spaced fractions,
+      mirroring {!Dist.cdf}. *)
+end
+
 (** Time series bucketed at fixed intervals (Figures 3, 4, 7b, 9). *)
 module Series : sig
   type t

@@ -42,6 +42,7 @@ type 'm t = {
   flying : (int, int) Hashtbl.t;  (* dst -> calls holding a slot *)
   queues : (int, 'm entry Queue.t) Hashtbl.t;  (* dst -> backpressure FIFO *)
   mutable next_id : int;
+  mutable queued_total : int;  (* calls ever deferred by the in-flight cap *)
 }
 
 type token = Call_tok of int | Timer_tok of Engine.handle
@@ -55,6 +56,7 @@ let create engine ~rng ?(in_flight_cap = 0) () =
     flying = Hashtbl.create 16;
     queues = Hashtbl.create 16;
     next_id = 0;
+    queued_total = 0;
   }
 
 let in_flight t ~dst = Option.value ~default:0 (Hashtbl.find_opt t.flying dst)
@@ -192,6 +194,7 @@ let call t ~src ~dst ?(deadline = infinity) ~policy ~send ~on_give_up k =
         q
     in
     Queue.push e q;
+    t.queued_total <- t.queued_total + 1;
     emit t (Trace.Rpc_queued { rid; dst });
     if deadline < infinity then
       e.e_timer <-
@@ -251,4 +254,5 @@ let fail_queued t ~dst =
           give_up t e)
         (List.rev !doomed)
 
+let queued_ever t = t.queued_total
 let after t ~delay f = Timer_tok (Engine.schedule t.engine ~delay f)

@@ -132,3 +132,8 @@ val fail_queued : 'm t -> dst:int -> unit
 
 val outstanding : 'm t -> int
 (** Total live calls (queued, flying or in backoff). *)
+
+val queued_ever : 'm t -> int
+(** Cumulative count of calls that were ever deferred by the in-flight
+    cap (one per [Rpc_queued] trace event). The load harness reports
+    this as its backpressure figure; always 0 with an unbounded cap. *)

@@ -47,6 +47,7 @@ type data =
   | Fault_reorder of { src : int; dst : int; extra : float }
   | Fault_crash of { addr : int }
   | Fault_recover of { addr : int }
+  | Cache_hit of { key : int }
 
 type event = { seq : int; time : float; node : int; data : data }
 
@@ -186,6 +187,7 @@ let data_fields = function
         ("extra", Printf.sprintf "%.6f" extra) ] )
   | Fault_crash { addr } -> ("fault_crash", [ ("addr", string_of_int addr) ])
   | Fault_recover { addr } -> ("fault_recover", [ ("addr", string_of_int addr) ])
+  | Cache_hit { key } -> ("cache_hit", [ ("key", string_of_int key) ])
 
 let to_json ev =
   let tag, fields = data_fields ev.data in

@@ -77,6 +77,9 @@ type data =
       (** the message was held back [extra] seconds past its latency *)
   | Fault_crash of { addr : int }
   | Fault_recover of { addr : int }
+  | Cache_hit of { key : int }
+      (** a lookup was answered from the node-local result cache without
+          touching the network (emitted by the acting node) *)
 
 type event = { seq : int; time : float; node : int; data : data }
 (** [node] is the acting node's address, or [-1] for engine/pending

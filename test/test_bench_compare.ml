@@ -70,6 +70,32 @@ let test_exit_code () =
   let improved = Bench_compare.deltas ~baseline ~current:[ ("k1", row 10.0) ] in
   Alcotest.(check int) "faster -> 0" 0 (Bench_compare.exit_code ~fail_above:(Some 0.0) improved)
 
+(* Kernels present in only one file: reported by [unpaired], never gated.
+   A baseline recorded before a kernel existed (BENCH_PR5.json vs a run
+   that now has load/* kernels) must not fail --fail-above. *)
+let test_unpaired_reported () =
+  let baseline = [ ("k1", row 100.0); ("gone", row 10.0); ("also-gone", row 1.0) ] in
+  let current = [ ("k1", row 100.0); ("brand-new", row 5.0) ] in
+  let only_base, only_cur = Bench_compare.unpaired ~baseline ~current in
+  Alcotest.(check (list string)) "baseline-only, input order" [ "gone"; "also-gone" ] only_base;
+  Alcotest.(check (list string)) "current-only" [ "brand-new" ] only_cur
+
+let test_unpaired_never_gates () =
+  (* Wildly slow numbers on one-sided kernels carry no regression signal:
+     the gate must stay green even at a 0% threshold. *)
+  let baseline = [ ("k1", row 100.0); ("gone", row 1.0) ] in
+  let current = [ ("k1", row 100.0); ("brand-new", row 1_000_000.0) ] in
+  let ds = Bench_compare.deltas ~baseline ~current in
+  Alcotest.(check int) "one paired delta" 1 (List.length ds);
+  Alcotest.(check int) "unpaired kernels don't trip the gate" 0
+    (Bench_compare.exit_code ~fail_above:(Some 0.0) ds)
+
+let test_unpaired_empty_on_match () =
+  let rows = [ ("k1", row 100.0); ("k2", row 50.0) ] in
+  let only_base, only_cur = Bench_compare.unpaired ~baseline:rows ~current:rows in
+  Alcotest.(check (list string)) "no baseline-only" [] only_base;
+  Alcotest.(check (list string)) "no current-only" [] only_cur
+
 let test_threshold_boundary () =
   let ds = Bench_compare.deltas ~baseline:[ ("k", row 100.0) ] ~current:[ ("k", row 110.0) ] in
   (* strictly-above semantics: exactly at the threshold passes *)
@@ -92,5 +118,8 @@ let () =
           Alcotest.test_case "worst delta" `Quick test_worst;
           Alcotest.test_case "exit codes" `Quick test_exit_code;
           Alcotest.test_case "threshold boundary" `Quick test_threshold_boundary;
+          Alcotest.test_case "unpaired reported" `Quick test_unpaired_reported;
+          Alcotest.test_case "unpaired never gates" `Quick test_unpaired_never_gates;
+          Alcotest.test_case "unpaired empty on match" `Quick test_unpaired_empty_on_match;
         ] );
     ]

@@ -729,6 +729,118 @@ let test_bounds_gap_uses_both_sides () =
     true
     (gap > true_gap /. 3.0 && gap < true_gap *. 3.0)
 
+(* ------------------------------------------------------------------ *)
+(* Hot-key result cache (PR 6) *)
+
+let test_rcache_accounting () =
+  let c = Rcache.create ~ttl:10.0 ~cap:100 in
+  let owner = Peer.make ~id:5 ~addr:3 in
+  Alcotest.(check bool) "cold miss" true (Rcache.find c ~now:0.0 ~node:1 ~key:42 = None);
+  Rcache.store c ~now:0.0 ~node:1 ~key:42 owner;
+  (match Rcache.find c ~now:1.0 ~node:1 ~key:42 with
+  | Some p -> Alcotest.(check bool) "hit returns stored owner" true (Peer.equal p owner)
+  | None -> Alcotest.fail "expected hit");
+  (* Same key at another node is a separate entry. *)
+  Alcotest.(check bool) "per-node isolation" true
+    (Rcache.find c ~now:1.0 ~node:2 ~key:42 = None);
+  Alcotest.(check int) "hits" 1 (Rcache.hits c);
+  Alcotest.(check int) "misses" 2 (Rcache.misses c);
+  Alcotest.(check int) "stores" 1 (Rcache.stores c);
+  Alcotest.(check int) "no expiries" 0 (Rcache.expired c);
+  Alcotest.(check int) "holders of key 42" 1 (Rcache.holders c ~now:1.0 ~key:42);
+  Alcotest.(check int) "holders of other key" 0 (Rcache.holders c ~now:1.0 ~key:7)
+
+let test_rcache_ttl_boundary () =
+  let c = Rcache.create ~ttl:10.0 ~cap:0 in
+  let owner = Peer.make ~id:5 ~addr:3 in
+  Rcache.store c ~now:0.0 ~node:1 ~key:42 owner;
+  Alcotest.(check bool) "hit just before expiry" true
+    (Rcache.find c ~now:9.999999 ~node:1 ~key:42 <> None);
+  (* Strict expiry: a probe exactly [ttl] after the store already misses. *)
+  Alcotest.(check bool) "miss at exact boundary" true
+    (Rcache.find c ~now:10.0 ~node:1 ~key:42 = None);
+  Alcotest.(check int) "expiry counted" 1 (Rcache.expired c);
+  Alcotest.(check int) "expiry also counted as miss" 1 (Rcache.misses c);
+  Alcotest.(check int) "stale entry removed" 0 (Rcache.size c);
+  (* A refresh restarts the clock. *)
+  Rcache.store c ~now:10.0 ~node:1 ~key:42 owner;
+  Alcotest.(check bool) "fresh again" true (Rcache.find c ~now:19.0 ~node:1 ~key:42 <> None)
+
+(* Mirror of [test_verify_cache_revocation_aware]: cached lookup results
+   primed before a revocation must not be servable afterwards — the
+   revoked identity may have vouched for them. *)
+let test_result_cache_revocation_flush () =
+  let cfg = { Config.default with Config.result_cache = true } in
+  let engine, w, _ = make_world ~n:50 ~cfg () in
+  let node = World.node w 0 in
+  let owner = (World.node w 7).World.peer in
+  let key = owner.Peer.id in
+  World.cache_store w node ~key owner;
+  (match World.cache_find w node ~key with
+  | Some p -> Alcotest.(check bool) "primed hit pre-revocation" true (Peer.equal p owner)
+  | None -> Alcotest.fail "expected cache hit");
+  run engine ~until:1.0;
+  World.revoke w owner.Peer.addr;
+  Alcotest.(check int) "cache flushed once" 1 (Rcache.flushes (World.result_cache w));
+  Alcotest.(check int) "cache emptied" 0 (Rcache.size (World.result_cache w));
+  Alcotest.(check bool) "no stale hit post-revocation" true
+    (World.cache_find w node ~key = None)
+
+let test_result_cache_end_to_end_hit () =
+  let cfg = { Config.default with Config.result_cache = true } in
+  let engine, w, _ = make_world ~n:80 ~seed:7 ~cfg () in
+  let node = World.node w 0 in
+  let target = (World.node w 33).World.peer in
+  let key = target.Peer.id in
+  let r1 = ref None in
+  Olookup.anonymous w node ~key (fun r -> r1 := Some r);
+  Engine.run_until_idle engine ();
+  (match !r1 with
+  | Some r ->
+    Alcotest.(check bool) "first lookup over the network" false r.Olookup.from_cache;
+    Alcotest.(check bool) "first lookup converged" true
+      (match r.Olookup.owner with Some o -> Peer.equal o target | None -> false)
+  | None -> Alcotest.fail "first lookup never completed");
+  (* The repeat is answered synchronously from cache: no engine run. *)
+  let r2 = ref None in
+  Olookup.anonymous w node ~key (fun r -> r2 := Some r);
+  (match !r2 with
+  | Some r ->
+    Alcotest.(check bool) "repeat served from cache" true r.Olookup.from_cache;
+    Alcotest.(check int) "zero hops" 0 r.Olookup.hops;
+    Alcotest.(check bool) "same owner" true
+      (match r.Olookup.owner with Some o -> Peer.equal o target | None -> false)
+  | None -> Alcotest.fail "cache hit must complete synchronously");
+  Alcotest.(check int) "one hit recorded" 1 (Rcache.hits (World.result_cache w))
+
+(* With the cache disabled the whole subsystem must be inert: traces are
+   byte-identical whatever the cache tuning, and no counter ever moves. *)
+let test_result_cache_disabled_byte_identical () =
+  let script cfg =
+    let trace = Octo_sim.Trace.create ~capacity:(1 lsl 14) () in
+    Octo_sim.Trace.install trace;
+    let engine, w, _ = make_world ~n:80 ~seed:7 ~cfg () in
+    let node = World.node w 0 in
+    let key = (World.node w 33).World.peer.Peer.id in
+    Olookup.anonymous w node ~key (fun _ -> ());
+    Engine.run_until_idle engine ();
+    Octo_sim.Trace.uninstall ();
+    (List.map Octo_sim.Trace.to_json (Octo_sim.Trace.events trace), World.result_cache w)
+  in
+  let ev_a, rc_a = script Config.default in
+  let ev_b, rc_b =
+    script { Config.default with Config.result_cache_ttl = 1.0; result_cache_cap = 4 }
+  in
+  Alcotest.(check bool) "some events traced" true (List.length ev_a > 0);
+  Alcotest.(check (list string)) "byte-identical event streams" ev_a ev_b;
+  List.iter
+    (fun rc ->
+      Alcotest.(check int) "no hits" 0 (Rcache.hits rc);
+      Alcotest.(check int) "no misses" 0 (Rcache.misses rc);
+      Alcotest.(check int) "no stores" 0 (Rcache.stores rc);
+      Alcotest.(check int) "no entries" 0 (Rcache.size rc))
+    [ rc_a; rc_b ]
+
 let () =
   Alcotest.run "octopus"
     [
@@ -796,5 +908,14 @@ let () =
           Alcotest.test_case "query digest binding" `Quick test_query_digest_binds_fields;
           Alcotest.test_case "message sizes" `Quick test_msg_sizes_positive;
           Alcotest.test_case "gap estimate" `Quick test_bounds_gap_uses_both_sides;
+        ] );
+      ( "result-cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_rcache_accounting;
+          Alcotest.test_case "ttl exact boundary" `Quick test_rcache_ttl_boundary;
+          Alcotest.test_case "revocation flushes" `Quick test_result_cache_revocation_flush;
+          Alcotest.test_case "end-to-end repeat hit" `Quick test_result_cache_end_to_end_hit;
+          Alcotest.test_case "disabled is byte-identical" `Quick
+            test_result_cache_disabled_byte_identical;
         ] );
     ]

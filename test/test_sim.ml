@@ -879,6 +879,132 @@ let prop_series_cumulative_monotone =
       monotone (Metrics.Series.cumulative s))
 
 (* ------------------------------------------------------------------ *)
+(* Sketch: bounded-memory streaming quantiles *)
+
+let sketch_of_list l =
+  let s = Metrics.Sketch.create () in
+  List.iter (Metrics.Sketch.record s) l;
+  s
+
+let dist_of_list l =
+  let d = Metrics.Dist.create () in
+  List.iter (Metrics.Dist.add d) l;
+  d
+
+let sketch_quantile_points = [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let sketch_within_bound ~exact ~est =
+  Float.abs (est -. exact) <= (Metrics.Sketch.relative_error *. Float.abs exact) +. 1e-9
+
+let check_sketch_error ~what l =
+  let s = sketch_of_list l and d = dist_of_list l in
+  List.iter
+    (fun q ->
+      let exact = Metrics.Dist.percentile d q in
+      let est = Metrics.Sketch.quantile s q in
+      if not (sketch_within_bound ~exact ~est) then
+        Alcotest.failf "%s q=%g: sketch %g vs exact %g exceeds %.2f%% relative error" what q
+          est exact
+          (Metrics.Sketch.relative_error *. 100.0))
+    sketch_quantile_points
+
+let prop_sketch_bounded_error =
+  QCheck.Test.make ~name:"sketch quantiles within relative error of exact" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 400) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let s = sketch_of_list l and d = dist_of_list l in
+      List.for_all
+        (fun q ->
+          sketch_within_bound
+            ~exact:(Metrics.Dist.percentile d q)
+            ~est:(Metrics.Sketch.quantile s q))
+        sketch_quantile_points)
+
+let test_sketch_lognormal () =
+  (* Heavy-tailed input spanning ~7 decades of magnitude. *)
+  let rng = Rng.create ~seed:17 in
+  let l = List.init 10_000 (fun _ -> exp (Rng.gaussian rng ~mu:0.0 ~sigma:2.0)) in
+  check_sketch_error ~what:"lognormal" l
+
+let test_sketch_adversarial_sorted () =
+  (* Monotone streams are the classic worst case for streaming quantile
+     estimators that assume shuffled input; the log-bucketed sketch's
+     bound is order-independent. *)
+  let asc = List.init 5_000 (fun i -> float_of_int (i + 1) *. 0.25) in
+  check_sketch_error ~what:"ascending" asc;
+  check_sketch_error ~what:"descending" (List.rev asc)
+
+let test_sketch_zeros_and_stats () =
+  let s = sketch_of_list [ 0.0; 0.0; 1.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 (Metrics.Sketch.count s);
+  check_float "sum" 5.0 (Metrics.Sketch.sum s);
+  check_float "min" 0.0 (Metrics.Sketch.min s);
+  check_float "max tracked exactly" 4.0 (Metrics.Sketch.max s);
+  check_float "q0 hits the zero bucket" 0.0 (Metrics.Sketch.quantile s 0.0);
+  check_float "q under zero mass" 0.0 (Metrics.Sketch.quantile s 0.3)
+
+(* The sum is excluded: float addition is not associative, and merge
+   makes no claim about it beyond ordinary FP drift. *)
+let sketch_fingerprint s =
+  ( Metrics.Sketch.count s,
+    Metrics.Sketch.min s,
+    Metrics.Sketch.max s,
+    Metrics.Sketch.buckets s )
+
+let prop_sketch_merge_associative =
+  QCheck.Test.make ~name:"sketch merge is associative" ~count:100
+    QCheck.(
+      triple
+        (list (float_bound_exclusive 100.0))
+        (list (float_bound_exclusive 100.0))
+        (list (float_bound_exclusive 100.0)))
+    (fun (la, lb, lc) ->
+      (* (a <> b) <> c *)
+      let left = sketch_of_list la in
+      Metrics.Sketch.merge ~into:left (sketch_of_list lb);
+      Metrics.Sketch.merge ~into:left (sketch_of_list lc);
+      (* a <> (b <> c) *)
+      let bc = sketch_of_list lb in
+      Metrics.Sketch.merge ~into:bc (sketch_of_list lc);
+      let right = sketch_of_list la in
+      Metrics.Sketch.merge ~into:right bc;
+      sketch_fingerprint left = sketch_fingerprint right)
+
+let prop_sketch_merge_matches_union =
+  QCheck.Test.make ~name:"sketch merge equals recording the union" ~count:100
+    QCheck.(pair (list (float_bound_exclusive 100.0)) (list (float_bound_exclusive 100.0)))
+    (fun (la, lb) ->
+      let merged = sketch_of_list la in
+      Metrics.Sketch.merge ~into:merged (sketch_of_list lb);
+      sketch_fingerprint merged = sketch_fingerprint (sketch_of_list (la @ lb)))
+
+let test_sketch_copy_independent () =
+  let s = sketch_of_list [ 1.0; 2.0; 3.0 ] in
+  let c = Metrics.Sketch.copy s in
+  Metrics.Sketch.record s 100.0;
+  Alcotest.(check int) "copy unaffected" 3 (Metrics.Sketch.count c);
+  Alcotest.(check int) "original grew" 4 (Metrics.Sketch.count s)
+
+let test_sketch_record_no_alloc () =
+  (* [record] must not allocate: it runs once per query in million-query
+     open-loop runs. Counting probe over the minor heap; floats arrive
+     already boxed (list elements), so any delta is record's own.
+     Meaningful only under the native-code compiler. *)
+  match Sys.backend_type with
+  | Sys.Native ->
+    let s = Metrics.Sketch.create () in
+    let values = List.init 5_000 (fun i -> float_of_int ((i mod 1000) - 2) *. 0.37) in
+    let record v = Metrics.Sketch.record s v in
+    List.iter record values;
+    let before = Gc.minor_words () in
+    List.iter record values;
+    let delta = Gc.minor_words () -. before in
+    Alcotest.(check bool)
+      (Printf.sprintf "5k records allocated %g minor words" delta)
+      true (delta < 64.0)
+  | Sys.Bytecode | Sys.Other _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Tbl: deterministic hash-table traversal *)
 
 let test_tbl_iter_sorted_order () =
@@ -1004,8 +1130,20 @@ let () =
           Alcotest.test_case "series gauge carry" `Quick test_series_gauge_carry;
           Alcotest.test_case "series cumulative" `Quick test_series_cumulative;
           Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "sketch lognormal" `Quick test_sketch_lognormal;
+          Alcotest.test_case "sketch adversarial sorted" `Quick test_sketch_adversarial_sorted;
+          Alcotest.test_case "sketch zeros & stats" `Quick test_sketch_zeros_and_stats;
+          Alcotest.test_case "sketch copy" `Quick test_sketch_copy_independent;
+          Alcotest.test_case "sketch record no alloc" `Quick test_sketch_record_no_alloc;
         ]
-        @ qsuite [ prop_dist_sorted; prop_series_cumulative_monotone ] );
+        @ qsuite
+            [
+              prop_dist_sorted;
+              prop_series_cumulative_monotone;
+              prop_sketch_bounded_error;
+              prop_sketch_merge_associative;
+              prop_sketch_merge_matches_union;
+            ] );
       ( "tbl",
         [
           Alcotest.test_case "iter_sorted ascending" `Quick test_tbl_iter_sorted_order;
