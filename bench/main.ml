@@ -208,7 +208,13 @@ let kernels =
 
 module Bench_compare = Octo_experiments.Bench_compare
 
-type row = Bench_compare.row = { ns_per_op : float; minor_words_per_op : float }
+type row = Bench_compare.row = {
+  ns_per_op : float;
+  minor_words_per_op : float;
+  major_words_per_op : float;
+  peak_heap_mb : float;
+  bytes_per_node : float;
+}
 
 let estimate_of results name =
   match Hashtbl.find_opt results name with
@@ -231,14 +237,23 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 
+(* octopus-bench/v2: v1 plus major_words_per_op on every kernel and
+   peak_heap_mb / bytes_per_node where measured (scale kernels). Fields
+   that were not measured are omitted; Bench_compare parses them as NaN
+   either way. *)
 let write_json path rows =
   let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"octopus-bench/v1\",\n  \"kernels\": {\n";
+  output_string oc "{\n  \"schema\": \"octopus-bench/v2\",\n  \"kernels\": {\n";
   List.iteri
     (fun i (name, r) ->
-      Printf.fprintf oc "    \"%s\": { \"ns_per_op\": %s, \"minor_words_per_op\": %s }%s\n"
+      let opt field v = if Float.is_nan v then "" else Printf.sprintf ", \"%s\": %s" field (json_float v) in
+      Printf.fprintf oc
+        "    \"%s\": { \"ns_per_op\": %s, \"minor_words_per_op\": %s, \"major_words_per_op\": %s%s%s }%s\n"
         (json_escape name) (json_float r.ns_per_op)
         (json_float r.minor_words_per_op)
+        (json_float r.major_words_per_op)
+        (opt "peak_heap_mb" r.peak_heap_mb)
+        (opt "bytes_per_node" r.bytes_per_node)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  }\n}\n";
@@ -264,7 +279,10 @@ let print_comparison ~baseline_path baseline rows =
 
 (* With --fail-above, a regression past the threshold turns into a
    non-zero exit so CI can gate on it; the pairing/threshold policy lives
-   in Octo_experiments.Bench_compare where it is unit-tested. *)
+   in Octo_experiments.Bench_compare where it is unit-tested. Memory
+   metrics (v2 baselines) gate through the same threshold: growing a
+   kernel's major words, peak heap or bytes/node past the percentage
+   fails exactly like slowing it down. *)
 let gate_regressions ~fail_above ~baseline rows =
   match fail_above with
   | None -> ()
@@ -277,10 +295,19 @@ let gate_regressions ~fail_above ~baseline rows =
           d.Bench_compare.kernel d.Bench_compare.pct d.Bench_compare.base_ns
           d.Bench_compare.now_ns pct)
       over;
-    let code = Bench_compare.exit_code ~fail_above:(Some pct) ds in
-    if code <> 0 then begin
-      Printf.eprintf "bench: %d kernel(s) regressed more than %.1f%%\n" (List.length over) pct;
-      exit code
+    let mds = Bench_compare.mem_deltas ~baseline ~current:rows in
+    let mem_over = Bench_compare.mem_regressions ~fail_above:pct mds in
+    List.iter
+      (fun d ->
+        Printf.printf "  MEMORY REGRESSION %-28s %s %+.1f%% (%.1f -> %.1f, threshold %.1f%%)\n"
+          d.Bench_compare.m_kernel d.Bench_compare.m_metric d.Bench_compare.m_pct
+          d.Bench_compare.m_base d.Bench_compare.m_now pct)
+      mem_over;
+    if over <> [] || mem_over <> [] then begin
+      Printf.eprintf "bench: %d kernel metric(s) regressed more than %.1f%%\n"
+        (List.length over + List.length mem_over)
+        pct;
+      exit 3
     end
     else begin
       let only_base, only_now = Bench_compare.unpaired ~baseline ~current:rows in
@@ -290,31 +317,73 @@ let gate_regressions ~fail_above ~baseline rows =
           Printf.sprintf " (%d baseline-only, %d new kernel(s) not gated)"
             (List.length only_base) (List.length only_now)
       in
-      Printf.printf "  all %d paired kernels within %.1f%% of baseline%s\n" (List.length ds)
-        pct unpaired_note
+      Printf.printf "  all %d paired kernels (%d memory metrics) within %.1f%% of baseline%s\n"
+        (List.length ds) (List.length mds) pct unpaired_note
     end
+
+(* Population-scale memory kernel: build a full (pool-less, lazy-table)
+   world at [n] nodes and measure what it costs to hold it — live words
+   per node after a compaction, major words allocated by the build, and
+   the process peak heap. Timed coarsely (one build); the interesting
+   figures are the memory ones, which is why ns_per_op stays NaN and the
+   row never enters the ns/op gate. *)
+let scale_rows () =
+  let n = 10_000 in
+  Gc.compact ();
+  let before = Gc.stat () in
+  let engine = Octo_sim.Engine.create ~seed:21 () in
+  let latency =
+    Octo_sim.Latency.create (Octo_sim.Rng.split (Octo_sim.Engine.rng engine)) ~n:(n + 1)
+  in
+  let w = Octopus.World.create ~pools:false engine latency ~n in
+  Gc.compact ();
+  let after = Gc.stat () in
+  let live_delta = float_of_int (after.Gc.live_words - before.Gc.live_words) in
+  let row =
+    {
+      ns_per_op = Float.nan;
+      minor_words_per_op = Float.nan;
+      major_words_per_op = (after.Gc.major_words -. before.Gc.major_words) /. float_of_int n;
+      peak_heap_mb = float_of_int after.Gc.top_heap_words *. 8.0 /. (1024.0 *. 1024.0);
+      bytes_per_node = live_delta *. 8.0 /. float_of_int n;
+    }
+  in
+  ignore (Sys.opaque_identity (Octopus.World.node w 0));
+  [ ("scale/world-10k", row) ]
 
 let run_bechamel ~json_out ~compare_with ~fail_above () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated; major_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
   let raw = Benchmark.all cfg instances kernels in
   let times = Analyze.all ols Instance.monotonic_clock raw in
   let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let majors = Analyze.all ols Instance.major_allocated raw in
   print_endline "== Micro-benchmarks (one kernel per paper artifact) ==";
   let rows = ref [] in
   Hashtbl.iter
     (fun name _ ->
       let row =
-        { ns_per_op = estimate_of times name; minor_words_per_op = estimate_of allocs name }
+        {
+          ns_per_op = estimate_of times name;
+          minor_words_per_op = estimate_of allocs name;
+          major_words_per_op = estimate_of majors name;
+          peak_heap_mb = Float.nan;
+          bytes_per_node = Float.nan;
+        }
       in
       rows := (name, row) :: !rows)
     times;
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  let rows = rows @ scale_rows () in
   List.iter
-    (fun (name, { ns_per_op = ns; minor_words_per_op = words }) ->
+    (fun (name, r) ->
+      let ns = r.ns_per_op and words = r.minor_words_per_op in
       let alloc = if Float.is_nan words then "" else Printf.sprintf "  %10.0f w/run" words in
-      if Float.is_nan ns then Printf.printf "  %-36s (no estimate)\n" name
+      if not (Float.is_nan r.bytes_per_node) then
+        Printf.printf "  %-36s %8.0f B/node  %8.2f MB peak heap\n" name r.bytes_per_node
+          r.peak_heap_mb
+      else if Float.is_nan ns then Printf.printf "  %-36s (no estimate)\n" name
       else if ns > 1e6 then Printf.printf "  %-36s %8.2f ms/run%s\n" name (ns /. 1e6) alloc
       else if ns > 1e3 then Printf.printf "  %-36s %8.2f us/run%s\n" name (ns /. 1e3) alloc
       else Printf.printf "  %-36s %8.0f ns/run%s\n" name ns alloc)

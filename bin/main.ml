@@ -336,7 +336,7 @@ let chaos_cmd =
 (* load: open-loop heavy-traffic workload *)
 
 let load_cmd =
-  let run regime n queries seed cache chaos trace_file check =
+  let run regime n queries seed cache chaos trace_file json_file check =
     if n < 8 then begin
       prerr_endline "octopus-repro: load needs -n >= 8";
       exit 2
@@ -363,6 +363,9 @@ let load_cmd =
       (Octo_sim.Metrics.fmt_float (Octo_sim.Metrics.Sketch.mean r.Workload.bandwidth))
       (Octo_sim.Metrics.fmt_float (q r.Workload.bandwidth 0.99))
       r.Workload.rpc_queued;
+    if r.Workload.duplicates > 0 then
+      Printf.printf "load %-7s delivered %d (%d duplicated, factor %.4f)\n" name
+        r.Workload.delivered r.Workload.duplicates (Workload.duplicate_factor r);
     if cache then begin
       Printf.printf "load %-7s cache hits %d/%d (%.1f%%)\n" name r.Workload.cache_hits
         r.Workload.completed
@@ -387,6 +390,17 @@ let load_cmd =
         Printf.printf "load %-7s trace written to %s\n" name path
       with Sys_error e ->
         Printf.eprintf "octopus-repro: cannot write trace file: %s\n" e;
+        exit 2)
+    | None -> ());
+    (match json_file with
+    | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Workload.summary_json r);
+        close_out oc;
+        Printf.printf "load %-7s summary written to %s\n" name path
+      with Sys_error e ->
+        Printf.eprintf "octopus-repro: cannot write json summary: %s\n" e;
         exit 2)
     | None -> ());
     let failed = ref false in
@@ -422,6 +436,11 @@ let load_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write the run's event stream as JSON Lines.")
   in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the octopus-load/v1 JSON summary (counts, latency quantiles, \
+                 duplicate factor) to $(docv).")
+  in
   let check =
     Arg.(value & flag & info [ "check-invariants" ]
            ~doc:"Run the online invariant checker; exit 1 on any violation.")
@@ -430,7 +449,66 @@ let load_cmd =
     (Cmd.info "load"
        ~doc:"Open-loop traffic: Poisson/MMPP/diurnal arrivals, Zipf keys, latency \
              CDFs from a bounded-memory sketch, optional hot-key cache")
-    Term.(const run $ regime $ n $ queries $ seed $ cache $ chaos $ trace_file $ check)
+    Term.(const run $ regime $ n $ queries $ seed $ cache $ chaos $ trace_file $ json_file $ check)
+
+(* ------------------------------------------------------------------ *)
+(* scale: population-scale dynamic network with memory reporting *)
+
+let scale_cmd =
+  let run n duration seed stabilize churn_mean churn_until lookups check =
+    if n < 64 then begin
+      prerr_endline "octopus-repro: scale needs -n >= 64 (it is a population-scale preset)";
+      exit 2
+    end;
+    if churn_until < 0.0 || churn_until > 0.8 then begin
+      prerr_endline "octopus-repro: --churn-until must be in [0, 0.8] (the ring needs a settle tail)";
+      exit 2
+    end;
+    let r =
+      Scale.run ~n ~duration ~seed ~stabilize_every:stabilize ~churn_mean ~churn_until ~lookups ()
+    in
+    Printf.printf
+      "scale n=%d duration %.0fs  events %d (trace %d)  departures %d  lookups %d/%d converged\n"
+      r.Scale.n r.Scale.duration r.Scale.events r.Scale.trace_events r.Scale.departures
+      r.Scale.lookups_converged r.Scale.lookups_done;
+    Printf.printf
+      "scale memory  %.0f B/node after bootstrap  peak heap %.1f MB  live after run %.1f MB  cpu %.1fs\n"
+      r.Scale.bytes_per_node r.Scale.peak_heap_mb r.Scale.live_mb r.Scale.cpu_s;
+    if check then begin
+      Octopus.Invariant.report r.Scale.checker Format.std_formatter;
+      if not (Octopus.Invariant.ok r.Scale.checker) then exit 1
+    end
+  in
+  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Network size.") in
+  let duration = Arg.(value & opt float 180.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let stabilize =
+    Arg.(value & opt float 20.0 & info [ "stabilize-every" ]
+         ~doc:"Stabilization period in simulated seconds (the only hot periodic loop).")
+  in
+  let churn_mean =
+    Arg.(value & opt float 3600.0 & info [ "churn-mean" ]
+         ~doc:"Mean node lifetime in simulated seconds (exponential churn).")
+  in
+  let churn_until =
+    Arg.(value & opt float 0.45 & info [ "churn-until" ]
+         ~doc:"Fraction of the run after which churn stops, leaving a quiet \
+               settle tail for the final convergence check.")
+  in
+  let lookups =
+    Arg.(value & opt int 400 & info [ "lookups" ]
+         ~doc:"Direct secure lookups spread evenly over the run.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Run the online invariant checker (incl. final ring convergence); \
+                 exit 1 on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Population-scale dynamic network (10^4..10^6 nodes): churn, signed \
+             stabilization, sparse lookups, memory envelope reporting")
+    Term.(const run $ n $ duration $ seed $ stabilize $ churn_mean $ churn_until $ lookups $ check)
 
 let () =
   let doc = "Octopus: anonymous and secure DHT lookup — paper reproduction harness" in
@@ -438,4 +516,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "octopus-repro" ~doc)
           [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; trace_cmd;
-            chaos_cmd; load_cmd; all_cmd ]))
+            chaos_cmd; load_cmd; scale_cmd; all_cmd ]))

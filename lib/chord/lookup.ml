@@ -37,7 +37,10 @@ let run net ~from ~key ?(max_hops = 32) ?seed_candidates k =
   let t0 = Engine.now engine in
   let queried = ref [] in
   let hops = ref 0 in
+  (* octolint: allow compact-node-state — per-lookup scratch, freed when
+     the walk returns; never per-node resident state *)
   let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* octolint: allow compact-node-state — per-lookup scratch (see above) *)
   let candidates : (int, Peer.t) Hashtbl.t = Hashtbl.create 64 in
   let add_candidate p =
     if p.Peer.addr <> from then Hashtbl.replace candidates p.Peer.id p

@@ -132,6 +132,8 @@ let bootstrap t =
   let n = Array.length t.nodes in
   let sorted = Array.map (fun node -> node.peer) t.nodes in
   Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
+  (* octolint: allow compact-node-state — bootstrap-time scratch index
+     over the whole population, dropped after construction *)
   let index_of = Hashtbl.create n in
   Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
   let successor_of_key key =
@@ -167,6 +169,8 @@ let create ?(config = default_config) engine latency ~n =
   let space = Id.space ~bits:config.bits in
   let rng = Rng.split (Engine.rng engine) in
   let net = Net.create engine latency in
+  (* octolint: allow compact-node-state — one population-level identity
+     registry per network, not per-node state *)
   let used_ids = Hashtbl.create n in
   let t =
     {

@@ -8,6 +8,8 @@ let compare a b =
 let pp fmt t = Format.fprintf fmt "#%d@%d" t.id t.addr
 
 let dedupe_by_id peers =
+  (* octolint: allow compact-node-state — transient dedupe set local to
+     this call, not resident node state *)
   let seen = Hashtbl.create 16 in
   List.filter
     (fun p ->

@@ -26,7 +26,7 @@ let nearest_colluder_cw (w : World.t) ~from ~self =
   match colluders_cw w ~from ~self with [] -> None | c :: _ -> Some c
 
 let manipulated_fingers (w : World.t) (node : World.node) =
-  let rt = node.World.rt in
+  let rt = (World.rt node) in
   let num_fingers = Octo_chord.Rtable.num_fingers rt in
   List.init num_fingers (fun i ->
       let honest = Octo_chord.Rtable.finger rt i in
@@ -60,15 +60,15 @@ let fabricated_justification (w : World.t) ~claimed_succ =
 
 let serve_table (w : World.t) (node : World.node) =
   let honest_fingers () =
-    List.init (Octo_chord.Rtable.num_fingers node.World.rt)
-      (Octo_chord.Rtable.finger node.World.rt)
+    List.init (Octo_chord.Rtable.num_fingers (World.rt node))
+      (Octo_chord.Rtable.finger (World.rt node))
   in
   match w.World.attack.World.kind with
   | (World.Bias | World.Pollution) when attacks_now w node ->
     World.sign_table w node ~fingers:(honest_fingers ()) ~succs:(biased_succs w node)
   | World.Finger_manip when attacks_now w node ->
     World.sign_table w node ~fingers:(manipulated_fingers w node)
-      ~succs:(Octo_chord.Rtable.succs node.World.rt)
+      ~succs:(Octo_chord.Rtable.succs (World.rt node))
   | World.No_attack | World.Bias | World.Pollution | World.Finger_manip
   | World.Selective_dos -> World.honest_table w node
 

@@ -626,6 +626,8 @@ let handle t (env : Types.msg Net.envelope) =
   | Types.Proofs_req _ | Types.Evidence_req _ | Types.Replicate _ | Types.Replicate_ack _ -> ()
 
 let create w =
+  (* octolint: allow compact-node-state — one strike table on the single
+     CA instance, not per-node state *)
   let t = { w; received = 0; strikes = Hashtbl.create 32 } in
   Net.register w.World.net w.World.ca_addr (handle t);
   t

@@ -72,6 +72,8 @@ type t = {
   result_cache : bool;
   result_cache_ttl : float;
   result_cache_cap : int;
+  (* population bootstrap *)
+  eager_tables : bool;
 }
 
 let default =
@@ -139,6 +141,7 @@ let default =
     result_cache = false;
     result_cache_ttl = 30.0;
     result_cache_cap = 65536;
+    eager_tables = false;
   }
 
 let paper_security = default

@@ -114,6 +114,13 @@ type t = {
   result_cache_cap : int;
       (** entry cap across all nodes; on overflow the cache resets,
           mirroring the verification cache's bounded-memory policy *)
+  eager_tables : bool;
+      (** force every routing table at bootstrap instead of leaving the
+          per-node materialization thunks unforced until first touch.
+          Off by default: lazy and eager bootstraps produce byte-identical
+          traces (the thunks replay the recorded boot topology exactly),
+          so this exists for the equivalence test and for profiling the
+          lazy path against the historical eager one *)
 }
 
 val default : t

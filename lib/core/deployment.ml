@@ -9,6 +9,7 @@ module Series = Octo_sim.Metrics.Series
 module Trace = Octo_sim.Trace
 module Keys = Octo_crypto.Keys
 module Cert = Octo_crypto.Cert
+module Imap = Octo_sim.Imap
 
 type relay = Node_state.relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
 type pair = Node_state.pair = { p_first : relay; p_second : relay; p_born : float }
@@ -17,26 +18,42 @@ type back_route = Node_state.back_route = { br_prev : int; br_sid : int; br_at :
 type node = Node_state.t = {
   addr : int;
   mutable peer : Peer.t;
-  mutable rt : Rtable.t;
+  mutable rt : Rtable.t Lazy.t;
   mutable alive : bool;
   mutable revoked : bool;
   mutable malicious : bool;
   mutable keypair : Keys.keypair;
   mutable cert : Cert.t;
   mutable proofs : (float * Types.signed_list) list;
-  sessions : (int, bytes) Hashtbl.t;
-  back_routes : (int, back_route) Hashtbl.t;
-  receipts : (int, Types.receipt) Hashtbl.t;
-  statements : (int, Types.witness_statement list) Hashtbl.t;
-  received_cids : (int, float) Hashtbl.t;
+  sessions : bytes Imap.t;
+  back_routes : back_route Imap.t;
+  receipts : Types.receipt Imap.t;
+  statements : Types.witness_statement list Imap.t;
+  received_cids : float Imap.t;
   mutable buffered_tables : Types.signed_table list;
   mutable pool : pair list;
-  pred_since : (int, int * float) Hashtbl.t;
-  witness_waits : (int, int * int) Hashtbl.t;
+  pred_since : (int * float) Imap.t;
+  witness_waits : (int * int) Imap.t;
   mutable intro_proofs : (float * Types.signed_list) list;
-  storage : (int, bytes) Hashtbl.t;
-  timeout_strikes : (int, int * float) Hashtbl.t;
+  storage : bytes Imap.t;
+  timeout_strikes : (int * float) Imap.t;
   mutable lost_peers : (int * float) list;
+}
+
+let rt = Node_state.rt
+
+(* The bootstrap topology, recorded once so per-node routing tables can be
+   materialized on demand instead of eagerly at world creation. A thunked
+   table replays exactly what the eager bootstrap would have built: the
+   ring snapshot supplies successors, predecessors, and fingers, and
+   [b_purged] replays any revocation purges that happened while the node's
+   table was still a thunk. Shared by reference across the [{ t with
+   nodes }] rebuild in [create], hence a standalone mutable record. *)
+type boot = {
+  mutable b_ring : Peer.t array;  (* boot peers, ascending id *)
+  mutable b_rank : int array;  (* addr -> rank in [b_ring] *)
+  mutable b_time : float;  (* engine time at bootstrap *)
+  mutable b_purged : int list;  (* addrs revoked since, newest first *)
 }
 
 type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
@@ -77,6 +94,12 @@ type t = {
   corrupted_docs : (string, unit) Hashtbl.t;
   mutable corrupt_accepted : int;
   metrics : metrics;
+  boot : boot;
+  members : Peer.t Imap.t;
+      (** alive, unrevoked nodes keyed by ring id — the ground-truth ring,
+          maintained by [make_node]/[kill]/[revive]/[revoke] so ownership
+          queries binary-search instead of scanning the population *)
+  default_rpc_policy : Rpc.policy;
 }
 
 let now t = Engine.now t.engine
@@ -128,18 +151,17 @@ let random_alive t rng =
 let colluders t =
   Array.to_list t.nodes |> List.filter is_active_malicious
 
+(* Ground truth ownership: the alive, unrevoked node clockwise-closest to
+   [key] is the first member id >= key, wrapping to the smallest id. The
+   member index makes this O(log n) — the old population scan dominated
+   convergence checks and per-lookup ledger updates at large n. *)
 let find_owner t ~key =
-  let best = ref None in
-  Array.iter
-    (fun n ->
-      if n.alive && not n.revoked then begin
-        let d = Id.distance_cw t.space key n.peer.Peer.id in
-        match !best with
-        | None -> best := Some (n.peer, d)
-        | Some (_, bd) -> if d < bd then best := Some (n.peer, d)
-      end)
-    t.nodes;
-  Option.map fst !best
+  match Imap.find_ceil t.members key with
+  | Some (_, p) -> Some p
+  | None -> ( match Imap.first t.members with Some (_, p) -> Some p | None -> None)
+
+let ring_truth t =
+  Array.of_list (List.rev (Imap.fold (fun _ p acc -> p :: acc) t.members []))
 
 (* -- messaging -------------------------------------------------------- *)
 
@@ -150,14 +172,20 @@ let send t ~src ~dst msg =
   (* octolint: allow no-raw-send — this is the one sanctioned wrapper. *)
   Net.send t.net ~src ~dst ~size msg
 
-let rpc_policy t ?timeout ?attempts () =
-  let cfg = t.cfg in
+let make_rpc_policy (cfg : Config.t) ?timeout ?attempts () =
   Rpc.policy
     ~attempts:(Option.value ~default:cfg.Config.rpc_attempts attempts)
     ~backoff:cfg.Config.rpc_backoff ~backoff_mult:cfg.Config.rpc_backoff_mult
     ~backoff_max:cfg.Config.rpc_backoff_max ~jitter:cfg.Config.rpc_jitter
     ~timeout:(Option.value ~default:cfg.Config.rpc_timeout timeout)
     ()
+
+(* Almost every call runs under the configured defaults; that policy is
+   built once at creation instead of allocating a record per RPC. *)
+let rpc_policy t ?timeout ?attempts () =
+  match (timeout, attempts) with
+  | None, None -> t.default_rpc_policy
+  | _ -> make_rpc_policy t.cfg ?timeout ?attempts ()
 
 let rpc t ~src ~dst ?timeout ?attempts ~make ~on_timeout k =
   let policy = rpc_policy t ?timeout ?attempts () in
@@ -201,17 +229,19 @@ let sign_table t node ~fingers ~succs =
   { st with Types.t_sig = Keys.sign node.keypair.Keys.secret (Types.table_digest st) }
 
 let honest_list t node kind =
+  let table = rt node in
   let peers =
     match kind with
-    | Types.Succ_list -> Rtable.succs node.rt
-    | Types.Pred_list -> Rtable.preds node.rt
+    | Types.Succ_list -> Rtable.succs table
+    | Types.Pred_list -> Rtable.preds table
   in
   sign_list t node kind peers
 
 let honest_table t node =
+  let table = rt node in
   sign_table t node
-    ~fingers:(List.init (Rtable.num_fingers node.rt) (Rtable.finger node.rt))
-    ~succs:(Rtable.succs node.rt)
+    ~fingers:(List.init (Rtable.num_fingers table) (Rtable.finger table))
+    ~succs:(Rtable.succs table)
 
 (* -- verification --------------------------------------------------- *)
 
@@ -321,7 +351,7 @@ let verify_table t ?expect_owner ?max_age ?(revoked_ok = false) st =
            && Keys.verify t.registry st.Types.t_cert.Cert.public digest st.Types.t_sig))
 
 let sanitize_table t node (st : Types.signed_table) =
-  let gap = Octo_chord.Bounds.estimated_gap node.rt in
+  let gap = Octo_chord.Bounds.estimated_gap (rt node) in
   let tolerance = t.cfg.Config.bound_tolerance in
   let space = t.space in
   let bound = tolerance *. gap in
@@ -414,6 +444,7 @@ let issue_cert t ~node_id ~addr ~public =
 let kill t addr =
   let n = t.nodes.(addr) in
   n.alive <- false;
+  Imap.remove t.members n.peer.Peer.id;
   Net.set_alive t.net addr false;
   (* Calls queued behind the dead destination's in-flight cap would each
      have to be launched and time out in turn; fail them now instead. *)
@@ -421,15 +452,20 @@ let kill t addr =
 
 let revive t addr =
   let n = t.nodes.(addr) in
+  Imap.remove t.members n.peer.Peer.id;
   let id = fresh_id t in
   let peer = Peer.make ~id ~addr in
   n.peer <- peer;
+  (* A rejoining node starts from an empty table, so there is nothing to
+     materialize lazily — pin the value. *)
   n.rt <-
-    Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.Config.num_fingers
-      ~list_size:t.cfg.Config.list_size;
+    Lazy.from_val
+      (Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.Config.num_fingers
+         ~list_size:t.cfg.Config.list_size);
   n.keypair <- Keys.generate t.registry t.rng;
   n.cert <- issue_cert t ~node_id:id ~addr ~public:n.keypair.Keys.public;
   n.alive <- true;
+  if not n.revoked then Imap.set t.members id peer;
   Node_state.reset_volatile n;
   Net.set_alive t.net addr true
 
@@ -446,8 +482,15 @@ let revoke t addr =
     Hashtbl.reset t.verify_cache;
     Rcache.flush t.rcache;
     kill t addr;
-    (* CRL distribution: honest nodes purge the ejected identity. *)
-    Array.iter (fun other -> if other.addr <> addr then Rtable.remove other.rt ~addr) t.nodes
+    (* CRL distribution: honest nodes purge the ejected identity. Tables
+       still unmaterialized replay the purge from [b_purged] when (if)
+       their thunk runs. *)
+    t.boot.b_purged <- addr :: t.boot.b_purged;
+    Array.iter
+      (fun other ->
+        if other.addr <> addr && Lazy.is_val other.rt then
+          Rtable.remove (Lazy.force other.rt) ~addr)
+      t.nodes
   end
 
 let sample_metrics t = Series.set t.metrics.mal_frac ~time:(now t) (malicious_fraction t)
@@ -514,48 +557,110 @@ let metrics_snapshot t =
 
 (* -- creation --------------------------------------------------------- *)
 
+(* First boot peer with id >= key, wrapping to the smallest id. *)
+let boot_successor_of_key (b : boot) key =
+  let n = Array.length b.b_ring in
+  let lo = ref 0 and hi = ref (n - 1) and res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if b.b_ring.(mid).Peer.id >= key then begin
+      res := Some mid;
+      hi := mid - 1
+    end
+    else lo := mid + 1
+  done;
+  match !res with Some i -> b.b_ring.(i) | None -> b.b_ring.(0)
+
+(* Replay, for one node, exactly what the eager bootstrap built at world
+   creation: [list_size] ring successors/predecessors, boot-time
+   [pred_since] entries, all fingers, then any revocation purges recorded
+   since. Runs inside [Lazy.force], so it must not touch the node's own
+   [rt] (only the fresh table), draws no randomness, and emits no trace —
+   forcing order cannot perturb the deterministic stream. [t] is captured
+   before the [{ t with nodes }] rebuild, so only the shared mutable
+   [boot] record (and immutable fields) may be read, never [t.nodes]. *)
+let materialize t (node : node) =
+  let cfg = t.cfg in
+  let table =
+    Rtable.create t.space ~owner:node.peer ~num_fingers:cfg.Config.num_fingers
+      ~list_size:cfg.Config.list_size
+  in
+  let b = t.boot in
+  let n = Array.length b.b_ring in
+  if n > 0 && b.b_rank.(node.addr) >= 0 then begin
+    let my_index = b.b_rank.(node.addr) in
+    let k = cfg.Config.list_size in
+    Rtable.set_succs table (List.init k (fun j -> b.b_ring.((my_index + j + 1) mod n)));
+    Rtable.set_preds table (List.init k (fun j -> b.b_ring.((my_index - j - 1 + n) mod n)));
+    (* [Node_state.update_preds] at boot time, inlined: it would force
+       [node.rt] — the very thunk running us. [pred_since] is necessarily
+       empty here (its only writer forces the table first), so the prune
+       step is a no-op and the fill matches the eager bootstrap's. *)
+    List.iter
+      (fun (p : Peer.t) -> Imap.set node.pred_since p.Peer.addr (p.Peer.id, b.b_time))
+      (Rtable.preds table);
+    for i = 0 to cfg.Config.num_fingers - 1 do
+      let ideal =
+        Id.ideal_finger t.space node.peer.Peer.id ~num_fingers:cfg.Config.num_fingers i
+      in
+      Rtable.set_finger table i (Some (boot_successor_of_key b ideal))
+    done;
+    List.iter
+      (fun a -> if a <> node.addr then Rtable.remove table ~addr:a)
+      (List.rev b.b_purged)
+  end;
+  table
+
+(* What [Rtable.successor] would answer without forcing an unmaterialized
+   table: the first boot successor not purged since. Lets population-wide
+   sweeps (convergence checks) stay allocation-free over idle nodes. *)
+let successor_view t (node : node) =
+  if Lazy.is_val node.rt then Rtable.successor (Lazy.force node.rt)
+  else begin
+    let b = t.boot in
+    let n = Array.length b.b_ring in
+    if n = 0 || b.b_rank.(node.addr) < 0 then None
+    else begin
+      let my_index = b.b_rank.(node.addr) in
+      let k = t.cfg.Config.list_size in
+      let res = ref None in
+      let j = ref 0 in
+      while !res = None && !j < k do
+        let p = b.b_ring.((my_index + !j + 1) mod n) in
+        if p.Peer.id <> node.peer.Peer.id && not (List.mem p.Peer.addr b.b_purged) then
+          res := Some p;
+        incr j
+      done;
+      !res
+    end
+  end
+
 let make_node t ~addr ~malicious =
   let id = fresh_id t in
   let peer = Peer.make ~id ~addr in
   let keypair = Keys.generate t.registry t.rng in
-  Node_state.make ~addr ~peer
-    ~rt:
-      (Rtable.create t.space ~owner:peer ~num_fingers:t.cfg.Config.num_fingers
-         ~list_size:t.cfg.Config.list_size)
-    ~malicious ~keypair
-    ~cert:(issue_cert t ~node_id:id ~addr ~public:keypair.Keys.public)
+  let node =
+    Node_state.make ~addr ~peer
+      ~rt:(lazy (invalid_arg "Deployment: routing table forced before bootstrap"))
+      ~malicious ~keypair
+      ~cert:(issue_cert t ~node_id:id ~addr ~public:keypair.Keys.public)
+  in
+  node.rt <- lazy (materialize t node);
+  Imap.set t.members id peer;
+  node
 
 let bootstrap_topology t =
   let n = Array.length t.nodes in
   let sorted = Array.map (fun node -> node.peer) t.nodes in
   Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
-  let index_of = Hashtbl.create n in
-  Array.iteri (fun i p -> Hashtbl.replace index_of p.Peer.id i) sorted;
-  let successor_of_key key =
-    let lo = ref 0 and hi = ref (n - 1) and res = ref None in
-    while !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      if sorted.(mid).Peer.id >= key then begin
-        res := Some mid;
-        hi := mid - 1
-      end
-      else lo := mid + 1
-    done;
-    match !res with Some i -> sorted.(i) | None -> sorted.(0)
-  in
-  Array.iter
-    (fun node ->
-      let my_index = Hashtbl.find index_of node.peer.Peer.id in
-      let k = t.cfg.Config.list_size in
-      Rtable.set_succs node.rt (List.init k (fun j -> sorted.((my_index + j + 1) mod n)));
-      update_preds t node (List.init k (fun j -> sorted.((my_index - j - 1 + n) mod n)));
-      for i = 0 to t.cfg.Config.num_fingers - 1 do
-        let ideal =
-          Id.ideal_finger t.space node.peer.Peer.id ~num_fingers:t.cfg.Config.num_fingers i
-        in
-        Rtable.set_finger node.rt i (Some (successor_of_key ideal))
-      done)
-    t.nodes
+  let rank = Array.make n (-1) in
+  Array.iteri (fun i (p : Peer.t) -> rank.(p.Peer.addr) <- i) sorted;
+  let b = t.boot in
+  b.b_ring <- sorted;
+  b.b_rank <- rank;
+  b.b_time <- now t;
+  if t.cfg.Config.eager_tables then
+    Array.iter (fun node -> ignore (Node_state.rt node)) t.nodes
 
 (* Provision each node's initial relay-pair pool from global knowledge, as
    if the warm-up random walks had already run: pair members are uniform
@@ -573,7 +678,7 @@ let bootstrap_pools t =
         let other = pick () in
         let sid = fresh_sid t in
         let key = Octo_crypto.Onion.gen_key t.rng in
-        Hashtbl.replace other.sessions sid key;
+        Imap.set other.sessions sid key;
         { r_peer = other.peer; r_sid = sid; r_key = key }
       in
       node.pool <-
@@ -581,8 +686,8 @@ let bootstrap_pools t =
             { p_first = mk_relay (); p_second = mk_relay (); p_born = 0.0 }))
     t.nodes
 
-let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket = 20.0) engine
-    latency ~n =
+let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket = 20.0)
+    ?(pools = true) engine latency ~n =
   assert (n + 1 <= Octo_sim.Latency.n latency);
   let rng = Rng.split (Engine.rng engine) in
   let registry = Keys.create_registry () in
@@ -616,15 +721,24 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
          the deterministic stream byte-identical to the pre-Rpc runtime. *)
       rpc = Rpc.create engine ~rng ~in_flight_cap:cfg.Config.rpc_in_flight_cap ();
       rng;
+      (* octolint: allow compact-node-state — population-level identity
+         registry, one per deployment *)
       used_ids = Hashtbl.create (2 * n);
       attack = no_attack;
       next_sid = 0;
+      (* octolint: allow compact-node-state — deployment-wide signature
+         cache, bounded at verify_cache_cap with reset-on-overflow *)
       verify_cache = Hashtbl.create 1024;
       rcache =
         Rcache.create ~ttl:cfg.Config.result_cache_ttl ~cap:cfg.Config.result_cache_cap;
+      (* octolint: allow compact-node-state — fault-layer watch list,
+         deployment-wide, populated only under chaos *)
       corrupted_docs = Hashtbl.create 16;
       corrupt_accepted = 0;
       metrics;
+      boot = { b_ring = [||]; b_rank = [||]; b_time = 0.0; b_purged = [] };
+      members = Imap.create ();
+      default_rpc_policy = make_rpc_policy cfg ();
     }
   in
   (* Choose which slots are malicious uniformly. *)
@@ -637,5 +751,5 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
   let nodes = Array.init n (fun addr -> make_node t ~addr ~malicious:flags.(addr)) in
   let t = { t with nodes } in
   bootstrap_topology t;
-  bootstrap_pools t;
+  if pools then bootstrap_pools t;
   t

@@ -10,6 +10,7 @@
 module Peer = Octo_chord.Peer
 module Id = Octo_chord.Id
 module Rtable = Octo_chord.Rtable
+module Imap = Octo_sim.Imap
 
 (** A relay leg the initiator shares a session key with. *)
 type relay = Node_state.relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
@@ -22,28 +23,36 @@ type back_route = Node_state.back_route = { br_prev : int; br_sid : int; br_at :
 type node = Node_state.t = {
   addr : int;
   mutable peer : Peer.t;
-  mutable rt : Rtable.t;
+  mutable rt : Rtable.t Lazy.t;
   mutable alive : bool;
   mutable revoked : bool;
   mutable malicious : bool;
   mutable keypair : Octo_crypto.Keys.keypair;
   mutable cert : Octo_crypto.Cert.t;
   mutable proofs : (float * Types.signed_list) list;
-  sessions : (int, bytes) Hashtbl.t;
-  back_routes : (int, back_route) Hashtbl.t;
-  receipts : (int, Types.receipt) Hashtbl.t;
-  statements : (int, Types.witness_statement list) Hashtbl.t;
-  received_cids : (int, float) Hashtbl.t;
+  sessions : bytes Imap.t;
+  back_routes : back_route Imap.t;
+  receipts : Types.receipt Imap.t;
+  statements : Types.witness_statement list Imap.t;
+  received_cids : float Imap.t;
   mutable buffered_tables : Types.signed_table list;
   mutable pool : pair list;
-  pred_since : (int, int * float) Hashtbl.t;
-  witness_waits : (int, int * int) Hashtbl.t;
+  pred_since : (int * float) Imap.t;
+  witness_waits : (int * int) Imap.t;
   mutable intro_proofs : (float * Types.signed_list) list;
-  storage : (int, bytes) Hashtbl.t;
-  timeout_strikes : (int, int * float) Hashtbl.t;
+  storage : bytes Imap.t;
+  timeout_strikes : (int * float) Imap.t;
   mutable lost_peers : (int * float) list;
 }
-(** Re-export of {!Node_state.t}; see that module for field docs. *)
+(** Re-export of {!Node_state.t}; see that module for field docs.
+    Access the routing table through {!rt}, never [Lazy.force] directly. *)
+
+val rt : node -> Rtable.t
+(** The node's routing table, materializing it on first touch (see
+    DESIGN.md "Memory layout at scale"). Materialization replays the
+    recorded boot topology and any later revocation purges, draws no
+    randomness, and emits no trace, so forcing order never perturbs
+    same-seed runs. *)
 
 type attack_kind = No_attack | Bias | Finger_manip | Pollution | Selective_dos
 
@@ -67,6 +76,15 @@ type metrics = {
   mutable no_conviction : int;
   mutable walks_abandoned : int;
 }
+
+type boot = {
+  mutable b_ring : Peer.t array;  (** boot peers, ascending id *)
+  mutable b_rank : int array;  (** addr -> rank in [b_ring] *)
+  mutable b_time : float;  (** engine time at bootstrap *)
+  mutable b_purged : int list;  (** addrs revoked since, newest first *)
+}
+(** The recorded bootstrap topology that unmaterialized routing-table
+    thunks replay; see {!rt}. *)
 
 type t = {
   engine : Octo_sim.Engine.t;
@@ -98,12 +116,18 @@ type t = {
       (** corrupted documents that nonetheless verified — must stay 0
           (checked by {!Invariant}) *)
   metrics : metrics;
+  boot : boot;
+  members : Peer.t Imap.t;
+      (** alive, unrevoked nodes keyed by ring id — ground truth for
+          {!find_owner} and {!ring_truth} *)
+  default_rpc_policy : Octo_sim.Rpc.policy;
 }
 
 val create :
   ?cfg:Config.t ->
   ?fraction_malicious:float ->
   ?metrics_bucket:float ->
+  ?pools:bool ->
   Octo_sim.Engine.t ->
   Octo_sim.Latency.t ->
   n:int ->
@@ -111,8 +135,10 @@ val create :
 (** Build a bootstrapped network of [n] nodes (addresses [0..n-1]; the CA
     listens on address [n], so the latency space must have [n+1] slots).
     Topology, certificates, and an initial relay-pair pool are provisioned
-    from global knowledge, as for the Chord bootstrap. No handlers are
-    installed — call {!Serve.install} and {!Ca.create}. *)
+    from global knowledge, as for the Chord bootstrap. [pools:false] skips
+    the relay-pair provisioning (population-scale runs that never do
+    anonymous lookups; saves [2 * pool_target] sessions per node). No
+    handlers are installed — call {!Serve.install} and {!Ca.create}. *)
 
 val now : t -> float
 val node : t -> int -> node
@@ -134,7 +160,17 @@ val colluders : t -> node list
 (** Active malicious nodes. *)
 
 val find_owner : t -> key:int -> Peer.t option
-(** Ground truth among alive, unrevoked nodes. *)
+(** Ground truth among alive, unrevoked nodes — O(log n) via the member
+    index, not a population scan. *)
+
+val ring_truth : t -> Peer.t array
+(** Snapshot of the alive, unrevoked membership in ascending id order:
+    each peer's true successor is the next entry (circularly). *)
+
+val successor_view : t -> node -> Peer.t option
+(** What [Rtable.successor (rt node)] would answer, without forcing an
+    unmaterialized table — population-wide sweeps stay cheap over idle
+    nodes. *)
 
 val send : t -> src:int -> dst:int -> Types.msg -> unit
 

@@ -132,7 +132,7 @@ let vet_finger_update w (node : World.node) ~index ~candidate ~evidence_table k 
       index
   in
   let unchanged =
-    match Rtable.finger node.World.rt index with
+    match Rtable.finger (World.rt node) index with
     | Some cur -> Peer.equal cur candidate
     | None -> false
   in

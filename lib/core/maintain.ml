@@ -13,7 +13,7 @@ let default_opts = { enable_lookups = true; churn_mean = None; enable_checks = t
 (* Stabilization (§4.3: signed lists, proof queue, anti-clockwise too) *)
 
 let stabilize_succs w (node : World.node) =
-  match Rtable.successor node.World.rt with
+  match Rtable.successor (World.rt node) with
   | None -> ()
   | Some succ ->
     World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
@@ -21,7 +21,7 @@ let stabilize_succs w (node : World.node) =
         Types.List_req { rid; kind = Types.Succ_list; announce = Some node.World.peer })
       ~on_timeout:(fun () ->
         if World.note_timeout w node succ.Peer.addr then
-          Rtable.remove node.World.rt ~addr:succ.Peer.addr)
+          Rtable.remove (World.rt node) ~addr:succ.Peer.addr)
       (fun msg ->
         match msg with
         | Types.List_resp { slist; _ }
@@ -41,10 +41,10 @@ let stabilize_succs w (node : World.node) =
               let d p =
                 Id.distance_cw w.World.space node.World.peer.Peer.id p.Peer.id
               in
-              List.filter (fun p -> d p < d succ) (Rtable.succs node.World.rt)
+              List.filter (fun p -> d p < d succ) (Rtable.succs (World.rt node))
             else []
           in
-          Rtable.set_succs node.World.rt ((succ :: slist.Types.l_peers) @ held)
+          Rtable.set_succs (World.rt node) ((succ :: slist.Types.l_peers) @ held)
         | Types.List_resp { slist; _ }
           when slist.Types.l_owner.Peer.addr = succ.Peer.addr
                && (not (Peer.equal slist.Types.l_owner succ))
@@ -52,11 +52,11 @@ let stabilize_succs w (node : World.node) =
           (* The address answered under a different identity: the peer we
              knew churned away and a newcomer took the slot — evict the
              stale entry (it would otherwise never time out). *)
-          Rtable.remove node.World.rt ~addr:succ.Peer.addr
+          Rtable.remove (World.rt node) ~addr:succ.Peer.addr
         | _ -> ())
 
 let stabilize_preds w (node : World.node) =
-  match Rtable.predecessor node.World.rt with
+  match Rtable.predecessor (World.rt node) with
   | None -> ()
   | Some pred ->
     World.rpc w ~src:node.World.addr ~dst:pred.Peer.addr
@@ -64,7 +64,7 @@ let stabilize_preds w (node : World.node) =
         Types.List_req { rid; kind = Types.Pred_list; announce = Some node.World.peer })
       ~on_timeout:(fun () ->
         if World.note_timeout w node pred.Peer.addr then
-          Rtable.remove node.World.rt ~addr:pred.Peer.addr)
+          Rtable.remove (World.rt node) ~addr:pred.Peer.addr)
       (fun msg ->
         match msg with
         | Types.List_resp { slist; _ }
@@ -77,7 +77,7 @@ let stabilize_preds w (node : World.node) =
               let d p =
                 Id.distance_cw w.World.space p.Peer.id node.World.peer.Peer.id
               in
-              List.filter (fun p -> d p < d pred) (Rtable.preds node.World.rt)
+              List.filter (fun p -> d p < d pred) (Rtable.preds (World.rt node))
             else []
           in
           World.update_preds w node ((pred :: slist.Types.l_peers) @ held)
@@ -85,7 +85,7 @@ let stabilize_preds w (node : World.node) =
           when slist.Types.l_owner.Peer.addr = pred.Peer.addr
                && (not (Peer.equal slist.Types.l_owner pred))
                && World.verify_list w slist ->
-          Rtable.remove node.World.rt ~addr:pred.Peer.addr
+          Rtable.remove (World.rt node) ~addr:pred.Peer.addr
         | _ -> ())
 
 (* Ring repair (post-partition re-convergence): each stabilization round,
@@ -108,7 +108,7 @@ let repair_probe w (node : World.node) =
           match msg with
           | Types.Table_resp { table; _ }
             when table.Types.t_owner.Peer.addr = addr && World.verify_table w table ->
-            Rtable.merge_succs node.World.rt (table.Types.t_owner :: table.Types.t_succs)
+            Rtable.merge_succs (World.rt node) (table.Types.t_owner :: table.Types.t_succs)
           | _ -> ())
 
 (* The back-link that pure succ/pred-list exchange lacks: when several
@@ -119,7 +119,7 @@ let repair_probe w (node : World.node) =
    Chord's "ask your successor for its predecessor", generalized to
    signed lists. *)
 let repair_pull_preds w (node : World.node) =
-  match Rtable.successor node.World.rt with
+  match Rtable.successor (World.rt node) with
   | None -> ()
   | Some succ ->
     World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
@@ -130,7 +130,7 @@ let repair_pull_preds w (node : World.node) =
         | Types.List_resp { slist; _ }
           when slist.Types.l_kind = Types.Pred_list
                && World.verify_list w ~expect_owner:succ slist ->
-          Rtable.merge_succs node.World.rt
+          Rtable.merge_succs (World.rt node)
             (List.filter
                (fun (p : Peer.t) -> p.Peer.addr <> node.World.addr)
                slist.Types.l_peers)
@@ -161,7 +161,7 @@ let finger_round w (node : World.node) k =
           | Some candidate when candidate.Peer.addr <> node.World.addr ->
             Finger_check.vet_finger_update w node ~index ~candidate
               ~evidence_table:result.Olookup.final_table (fun ok ->
-                if ok then Rtable.set_finger node.World.rt index (Some candidate);
+                if ok then Rtable.set_finger (World.rt node) index (Some candidate);
                 update (index + 1))
           | Some _ | None -> update (index + 1))
     end
@@ -188,7 +188,7 @@ let join w (node : World.node) k =
                 when slist.Types.l_kind = Types.Succ_list
                      && World.verify_list w ~expect_owner:succ slist ->
                 World.push_proof w node slist;
-                Rtable.set_succs node.World.rt (succ :: slist.Types.l_peers);
+                Rtable.set_succs (World.rt node) (succ :: slist.Types.l_peers);
                 World.rpc w ~src:node.World.addr ~dst:succ.Peer.addr
                   ~make:(fun rid ->
                     Types.List_req { rid; kind = Types.Pred_list; announce = None })
@@ -234,12 +234,12 @@ let do_lookup w (node : World.node) =
 let gc w (node : World.node) =
   let horizon = World.now w -. w.World.cfg.Config.gc_horizon in
   let prune_old table keep =
+    (* [Imap.fold] is already key-ordered; collect first, since removal
+       mid-walk is forbidden. *)
     let stale =
-      Octo_sim.Tbl.fold_sorted ~cmp:Int.compare
-        (fun k v acc -> if keep v then acc else k :: acc)
-        table []
+      Octo_sim.Imap.fold (fun k v acc -> if keep v then acc else k :: acc) table []
     in
-    List.iter (Hashtbl.remove table) stale
+    List.iter (Octo_sim.Imap.remove table) stale
   in
   prune_old node.World.back_routes (fun r -> r.World.br_at >= horizon);
   prune_old node.World.received_cids (fun at -> at >= horizon);

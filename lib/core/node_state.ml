@@ -2,6 +2,7 @@ module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
 module Keys = Octo_crypto.Keys
 module Cert = Octo_crypto.Cert
+module Imap = Octo_sim.Imap
 
 type relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
 type pair = { p_first : relay; p_second : relay; p_born : float }
@@ -10,27 +11,29 @@ type back_route = { br_prev : int; br_sid : int; br_at : float }
 type t = {
   addr : int;
   mutable peer : Peer.t;
-  mutable rt : Rtable.t;
+  mutable rt : Rtable.t Lazy.t;
   mutable alive : bool;
   mutable revoked : bool;
   mutable malicious : bool;
   mutable keypair : Keys.keypair;
   mutable cert : Cert.t;
   mutable proofs : (float * Types.signed_list) list;
-  sessions : (int, bytes) Hashtbl.t;
-  back_routes : (int, back_route) Hashtbl.t;
-  receipts : (int, Types.receipt) Hashtbl.t;
-  statements : (int, Types.witness_statement list) Hashtbl.t;
-  received_cids : (int, float) Hashtbl.t;
+  sessions : bytes Imap.t;
+  back_routes : back_route Imap.t;
+  receipts : Types.receipt Imap.t;
+  statements : Types.witness_statement list Imap.t;
+  received_cids : float Imap.t;
   mutable buffered_tables : Types.signed_table list;
   mutable pool : pair list;
-  pred_since : (int, int * float) Hashtbl.t;
-  witness_waits : (int, int * int) Hashtbl.t;
+  pred_since : (int * float) Imap.t;
+  witness_waits : (int * int) Imap.t;
   mutable intro_proofs : (float * Types.signed_list) list;
-  storage : (int, bytes) Hashtbl.t;
-  timeout_strikes : (int, int * float) Hashtbl.t;
+  storage : bytes Imap.t;
+  timeout_strikes : (int * float) Imap.t;
   mutable lost_peers : (int * float) list;
 }
+
+let rt node = Lazy.force node.rt
 
 let make ~addr ~peer ~rt ~malicious ~keypair ~cert =
   {
@@ -43,18 +46,18 @@ let make ~addr ~peer ~rt ~malicious ~keypair ~cert =
     keypair;
     cert;
     proofs = [];
-    sessions = Hashtbl.create 8;
-    back_routes = Hashtbl.create 8;
-    receipts = Hashtbl.create 8;
-    statements = Hashtbl.create 4;
-    received_cids = Hashtbl.create 8;
+    sessions = Imap.create ();
+    back_routes = Imap.create ();
+    receipts = Imap.create ();
+    statements = Imap.create ();
+    received_cids = Imap.create ();
     buffered_tables = [];
     pool = [];
-    pred_since = Hashtbl.create 8;
-    witness_waits = Hashtbl.create 4;
+    pred_since = Imap.create ();
+    witness_waits = Imap.create ();
     intro_proofs = [];
-    storage = Hashtbl.create 8;
-    timeout_strikes = Hashtbl.create 4;
+    storage = Imap.create ();
+    timeout_strikes = Imap.create ();
     lost_peers = [];
   }
 
@@ -104,36 +107,38 @@ let push_proof node ~now ~queue_len sl =
 let buffer_table node st = node.buffered_tables <- truncate 16 (st :: node.buffered_tables)
 
 let update_preds node ~now peers =
-  Rtable.set_preds node.rt peers;
+  let table = rt node in
+  Rtable.set_preds table peers;
   List.iter
     (fun p ->
       (* Track (identity, arrival): an address that rejoined with a fresh
          id restarts its clock, so surveillance never treats the new
          identity as long-known. *)
-      match Hashtbl.find_opt node.pred_since p.Peer.addr with
+      match Imap.find_opt node.pred_since p.Peer.addr with
       | Some (id, _) when id = p.Peer.id -> ()
-      | Some _ | None -> Hashtbl.replace node.pred_since p.Peer.addr (p.Peer.id, now))
-    (Rtable.preds node.rt);
-  (* Forget entries that fell out so a readmission restarts the clock. *)
-  let current = Rtable.preds node.rt in
-  (* [iter_sorted] snapshots before visiting, so removing while iterating
-     is safe without the [Hashtbl.copy] the raw iter needed. *)
-  Octo_sim.Tbl.iter_sorted ~cmp:Int.compare
-    (fun addr _ ->
-      if not (List.exists (fun p -> p.Peer.addr = addr) current) then
-        Hashtbl.remove node.pred_since addr)
-    node.pred_since
+      | Some _ | None -> Imap.set node.pred_since p.Peer.addr (p.Peer.id, now))
+    (Rtable.preds table);
+  (* Forget entries that fell out so a readmission restarts the clock;
+     collect first, since [Imap.iter] forbids removal mid-walk. *)
+  let current = Rtable.preds table in
+  let stale =
+    Imap.fold
+      (fun addr _ acc ->
+        if List.exists (fun p -> p.Peer.addr = addr) current then acc else addr :: acc)
+      node.pred_since []
+  in
+  List.iter (Imap.remove node.pred_since) stale
 
 (* Evict a peer only after repeated timeouts within a short window: a
    single slow round trip must not drop a live neighbor (it races the CA's
    justification analysis and costs real false accusations). *)
 let note_timeout node ~now ~window ~strikes addr =
-  match Hashtbl.find_opt node.timeout_strikes addr with
+  match Imap.find_opt node.timeout_strikes addr with
   | Some (count, last) when now -. last <= window ->
-    Hashtbl.replace node.timeout_strikes addr (count + 1, now);
+    Imap.set node.timeout_strikes addr (count + 1, now);
     count + 1 >= strikes
   | Some _ | None ->
-    Hashtbl.replace node.timeout_strikes addr (1, now);
+    Imap.set node.timeout_strikes addr (1, now);
     strikes <= 1
 
 (* Ring-repair memory: peers evicted on timeout are remembered (newest
@@ -163,19 +168,19 @@ let take_lost node =
     Some oldest
 
 let pred_known_since node (peer : Peer.t) =
-  match Hashtbl.find_opt node.pred_since peer.Peer.addr with
+  match Imap.find_opt node.pred_since peer.Peer.addr with
   | Some (id, since) when id = peer.Peer.id -> Some since
   | Some _ | None -> None
 
 let reset_volatile node =
-  Hashtbl.reset node.sessions;
-  Hashtbl.reset node.back_routes;
-  Hashtbl.reset node.receipts;
-  Hashtbl.reset node.statements;
-  Hashtbl.reset node.received_cids;
-  Hashtbl.reset node.pred_since;
-  Hashtbl.reset node.witness_waits;
-  Hashtbl.reset node.timeout_strikes;
+  Imap.clear node.sessions;
+  Imap.clear node.back_routes;
+  Imap.clear node.receipts;
+  Imap.clear node.statements;
+  Imap.clear node.received_cids;
+  Imap.clear node.pred_since;
+  Imap.clear node.witness_waits;
+  Imap.clear node.timeout_strikes;
   node.proofs <- [];
   node.buffered_tables <- [];
   node.intro_proofs <- [];

@@ -7,10 +7,17 @@
     metrics) lives in {!Deployment}; {!World} re-exports both so
     existing call sites keep working. All helpers here take their
     timing/limit parameters explicitly — this module never reads a
-    clock or a {!Config.t}. *)
+    clock or a {!Config.t}.
+
+    Memory layout (see DESIGN.md "Memory layout at scale"): the volatile
+    per-node maps are {!Octo_sim.Imap} sorted-array maps, not hashtables
+    — an idle node's maps cost 4 words each — and the routing table is a
+    [Lazy.t] so population bootstrap materializes no table until a node
+    is first touched. *)
 
 module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
+module Imap = Octo_sim.Imap
 
 (** A relay leg the initiator shares a session key with. *)
 type relay = { r_peer : Peer.t; r_sid : int; r_key : bytes }
@@ -23,7 +30,8 @@ type back_route = { br_prev : int; br_sid : int; br_at : float }
 type t = {
   addr : int;
   mutable peer : Peer.t;
-  mutable rt : Rtable.t;
+  mutable rt : Rtable.t Lazy.t;
+      (** force through {!rt}; unmaterialized nodes carry only the thunk *)
   mutable alive : bool;
   mutable revoked : bool;
   mutable malicious : bool;
@@ -31,33 +39,36 @@ type t = {
   mutable cert : Octo_crypto.Cert.t;
   mutable proofs : (float * Types.signed_list) list;
       (** (received_at, signed input), newest first, bounded *)
-  sessions : (int, bytes) Hashtbl.t;  (** sid -> relay-session key *)
-  back_routes : (int, back_route) Hashtbl.t;
-  receipts : (int, Types.receipt) Hashtbl.t;  (** cid -> next hop's receipt *)
-  statements : (int, Types.witness_statement list) Hashtbl.t;
-  received_cids : (int, float) Hashtbl.t;  (** forward evidence *)
+  sessions : bytes Imap.t;  (** sid -> relay-session key *)
+  back_routes : back_route Imap.t;
+  receipts : Types.receipt Imap.t;  (** cid -> next hop's receipt *)
+  statements : Types.witness_statement list Imap.t;
+  received_cids : float Imap.t;  (** forward evidence *)
   mutable buffered_tables : Types.signed_table list;  (** for finger checks *)
   mutable pool : pair list;  (** available relay pairs *)
-  pred_since : (int, int * float) Hashtbl.t;
+  pred_since : (int * float) Imap.t;
       (** addr -> (identity, entered pred list at) *)
-  witness_waits : (int, int * int) Hashtbl.t;
+  witness_waits : (int * int) Imap.t;
       (** cid -> (rid, requester) while acting as a delivery witness *)
   mutable intro_proofs : (float * Types.signed_list) list;
       (** (received_at, document) introductions of adopted successors:
           verification-probe pred lists and archived former-head inputs,
           newest first, bounded *)
-  storage : (int, bytes) Hashtbl.t;  (** the node's key-value shard *)
-  timeout_strikes : (int, int * float) Hashtbl.t;
+  storage : bytes Imap.t;  (** the node's key-value shard *)
+  timeout_strikes : (int * float) Imap.t;
       (** addr -> (consecutive timeouts, last at); see {!note_timeout} *)
   mutable lost_peers : (int * float) list;
       (** (addr, lost at), newest first, bounded; peers evicted on
           timeout and remembered for ring repair — see {!remember_lost} *)
 }
 
+val rt : t -> Rtable.t
+(** The node's routing table, materializing it on first touch. *)
+
 val make :
   addr:int ->
   peer:Peer.t ->
-  rt:Rtable.t ->
+  rt:Rtable.t Lazy.t ->
   malicious:bool ->
   keypair:Octo_crypto.Keys.keypair ->
   cert:Octo_crypto.Cert.t ->

@@ -3,6 +3,7 @@ module Id = Octo_chord.Id
 module Rtable = Octo_chord.Rtable
 module Rng = Octo_sim.Rng
 module Trace = Octo_sim.Trace
+module Imap = Octo_sim.Imap
 
 (* Test-only fault injection: when set, rewrites the owner a converged
    lookup reports, so the invariant checker's convergence check can be
@@ -39,9 +40,9 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
     Trace.emit ~time:t0 ~node:node.World.addr (Trace.Lookup_start { key; anonymous = anon });
   let hops = ref 0 in
   let queried = ref [] in
-  let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let candidates : (int, Peer.t) Hashtbl.t = Hashtbl.create 64 in
-  let add_candidate p = if p.Peer.addr <> node.World.addr then Hashtbl.replace candidates p.Peer.id p in
+  let tried : unit Imap.t = Imap.create () in
+  let candidates : Peer.t Imap.t = Imap.create () in
+  let add_candidate p = if p.Peer.addr <> node.World.addr then Imap.set candidates p.Peer.id p in
   let final_table = ref None in
   let finish owner =
     let owner =
@@ -68,8 +69,8 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
   in
   let best_candidate () =
     match
-      Octo_sim.Tbl.min_by ~cmp:Int.compare
-        ~skip:(fun _ p -> Hashtbl.mem tried p.Peer.addr)
+      Imap.min_by
+        ~skip:(fun _ p -> Imap.mem tried p.Peer.addr)
         ~score:(fun _ p -> Id.distance_cw space p.Peer.id key)
         candidates
     with
@@ -84,7 +85,7 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
       | Some (p, d) ->
         if d = 0 then finish (Some p)
         else begin
-          Hashtbl.replace tried p.Peer.addr ();
+          Imap.set tried p.Peer.addr ();
           if Trace.on () then
             Trace.emit ~time:(World.now w) ~node:node.World.addr
               (Trace.Lookup_hop
@@ -112,16 +113,16 @@ let greedy w (node : World.node) ~anonymous:anon ~key ~fetch k =
   in
   let my_id = node.World.peer.Peer.id in
   let owns_locally =
-    match Rtable.predecessor node.World.rt with
+    match Rtable.predecessor (World.rt node) with
     | Some pred -> Id.between space key ~lo:pred.Peer.id ~hi:my_id
     | None -> false
   in
   if owns_locally then finish (Some node.World.peer)
   else begin
-    match Rtable.covers node.World.rt ~key with
+    match Rtable.covers (World.rt node) ~key with
     | Some owner -> finish (Some owner)
     | None ->
-      List.iter add_candidate (Rtable.entries node.World.rt);
+      List.iter add_candidate (Rtable.entries (World.rt node));
       step ()
   end
 
@@ -129,7 +130,7 @@ let fire_dummies w (node : World.node) ~ab ~pairs =
   (* Dummy queries: real-looking table requests to random known peers,
      spread over the expected lookup duration so interleaving looks like a
      lookup trajectory to an observer. *)
-  let known = Rtable.entries node.World.rt in
+  let known = Rtable.entries (World.rt node) in
   if known <> [] then begin
     let targets = Array.of_list known in
     List.iter
@@ -262,7 +263,7 @@ let direct w (node : World.node) ~key k =
     World.rpc w ~src:node.World.addr ~dst:p.Peer.addr
       ~make:(fun rid -> Types.Table_req { rid })
       ~on_timeout:(fun () ->
-        if World.note_timeout w node p.Peer.addr then Rtable.remove node.World.rt ~addr:p.Peer.addr;
+        if World.note_timeout w node p.Peer.addr then Rtable.remove (World.rt node) ~addr:p.Peer.addr;
         cont None)
       (fun msg ->
         match msg with
@@ -273,7 +274,7 @@ let direct w (node : World.node) ~key k =
             && World.verify_table w table
           then begin
             (* Identity changed at this address: purge the stale entry. *)
-            Rtable.remove node.World.rt ~addr:p.Peer.addr;
+            Rtable.remove (World.rt node) ~addr:p.Peer.addr;
             cont None
           end
           else cont (Some table)

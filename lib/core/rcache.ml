@@ -17,6 +17,8 @@ let create ~ttl ~cap =
   {
     ttl;
     cap;
+    (* octolint: allow compact-node-state — one capacity-bounded cache per
+       deployment (cap enforced on insert), not unbounded per-node state *)
     table = Hashtbl.create 256;
     hits = 0;
     misses = 0;

@@ -1,6 +1,7 @@
 module Peer = Octo_chord.Peer
 module Rtable = Octo_chord.Rtable
 module Net = Octo_sim.Net
+module Imap = Octo_sim.Imap
 module Onion = Octo_crypto.Onion
 module Sha256 = Octo_crypto.Sha256
 
@@ -14,11 +15,11 @@ let phase2_index ~seed ~step ~count =
   !v mod count
 
 let table_entries (st : Types.signed_table) =
-  let seen = Hashtbl.create 16 in
+  let seen = Imap.create () in
   let keep p =
-    if Hashtbl.mem seen p.Peer.id then false
+    if Imap.mem seen p.Peer.id then false
     else begin
-      Hashtbl.add seen p.Peer.id ();
+      Imap.set seen p.Peer.id ();
       true
     end
   in
@@ -34,8 +35,8 @@ let send_receipt w (node : World.node) ~dst ~cid =
   end
 
 let record_statement (node : World.node) cid stmt =
-  let cur = Option.value ~default:[] (Hashtbl.find_opt node.World.statements cid) in
-  Hashtbl.replace node.World.statements cid (stmt :: cur)
+  let cur = Option.value ~default:[] (Imap.find_opt node.World.statements cid) in
+  Imap.set node.World.statements cid (stmt :: cur)
 
 let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
   let cfg = w.World.cfg in
@@ -43,7 +44,7 @@ let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
     World.after w ~delay:cfg.Config.receipt_wait (fun () ->
            if
              node.World.alive
-             && (not (Hashtbl.mem node.World.receipts cid))
+             && (not (Imap.mem node.World.receipts cid))
              && not node.World.malicious
            then begin
              (* No receipt: ask up to two witnesses (our closest successors)
@@ -52,7 +53,7 @@ let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
              let take2 = function a :: b :: _ -> [ a; b ] | l -> l in
              (* Successors and predecessors, per the paper's witness set. *)
              let witnesses =
-               take2 (Rtable.succs node.World.rt) @ take2 (Rtable.preds node.World.rt)
+               take2 (Rtable.succs (World.rt node)) @ take2 (Rtable.preds (World.rt node))
              in
              List.iter
                (fun (witness : Peer.t) ->
@@ -64,7 +65,7 @@ let arm_receipt_watch w (node : World.node) ~cid ~next ~fwd =
                      match msg with
                      | Types.Witness_resp { outcome = Either.Left receipt; _ } ->
                        if World.verify_receipt w receipt then
-                         Hashtbl.replace node.World.receipts cid receipt
+                         Imap.set node.World.receipts cid receipt
                      | Types.Witness_resp { outcome = Either.Right stmt; _ } ->
                        if World.verify_statement w stmt then record_statement node cid stmt
                      | _ -> ()))
@@ -78,18 +79,18 @@ let handle_anon_query w (node : World.node) query k =
   match query with
   | Types.Q_table { session } ->
     Option.iter
-      (fun (sid, key) -> Hashtbl.replace node.World.sessions sid key)
+      (fun (sid, key) -> Imap.set node.World.sessions sid key)
       session;
     k (Some (Types.R_table (Adversary.serve_table w node)))
   | Types.Q_list kind -> k (Some (Types.R_list (Adversary.serve_list w node kind)))
   | Types.Q_establish { sid; key } ->
-    Hashtbl.replace node.World.sessions sid key;
+    Imap.set node.World.sessions sid key;
     k (Some Types.R_ok)
   | Types.Q_put { key; value } ->
-    Hashtbl.replace node.World.storage key value;
+    Imap.set node.World.storage key value;
     (* Replicate to the closest successors so churn does not lose it. *)
     let replicas =
-      match Rtable.succs node.World.rt with a :: b :: _ -> [ a; b ] | l -> l
+      match Rtable.succs (World.rt node) with a :: b :: _ -> [ a; b ] | l -> l
     in
     List.iter
       (fun (s : Peer.t) ->
@@ -99,7 +100,7 @@ let handle_anon_query w (node : World.node) query k =
           (fun _ -> ()))
       replicas;
     k (Some Types.R_stored)
-  | Types.Q_get { key } -> k (Some (Types.R_value (Hashtbl.find_opt node.World.storage key)))
+  | Types.Q_get { key } -> k (Some (Types.R_value (Imap.find_opt node.World.storage key)))
   | Types.Q_echo payload -> k (Some (Types.R_echo payload))
   | Types.Q_phase2 { seed; length } ->
     (* Appendix I second phase: walk [length] hops, selecting each next hop
@@ -129,10 +130,10 @@ let handle_anon_query w (node : World.node) query k =
 (* Onion relaying *)
 
 let send_reply w (node : World.node) ~cid reply =
-  match Hashtbl.find_opt node.World.back_routes cid with
+  match Imap.find_opt node.World.back_routes cid with
   | None -> ()
   | Some route -> (
-    match Hashtbl.find_opt node.World.sessions route.World.br_sid with
+    match Imap.find_opt node.World.sessions route.World.br_sid with
     | None -> ()
     | Some key ->
       let digest = Types.reply_digest ~cid reply in
@@ -158,13 +159,13 @@ let exit_deliver w (node : World.node) ~cid ~target ~query ~deadline ~capsule =
    after the envelope has been recycled. *)
 let handle_fwd w (node : World.node) ~prev ~cid ~sid ~delay ~hops
     ~target ~query ~deadline ~capsule =
-  let first_delivery = not (Hashtbl.mem node.World.received_cids cid) in
-  Hashtbl.replace node.World.received_cids cid (World.now w);
+  let first_delivery = not (Imap.mem node.World.received_cids cid) in
+  Imap.set node.World.received_cids cid (World.now w);
   if Adversary.drops_fwd w node then ()
   else begin
     send_receipt w node ~dst:prev ~cid;
     if first_delivery then begin
-      match Hashtbl.find_opt node.World.sessions sid with
+      match Imap.find_opt node.World.sessions sid with
       | None -> ()
       | Some key ->
         (match Onion.peel ~key capsule with
@@ -172,7 +173,7 @@ let handle_fwd w (node : World.node) ~prev ~cid ~sid ~delay ~hops
         | Some peeled ->
           let proceed () =
             if node.World.alive then begin
-              Hashtbl.replace node.World.back_routes cid
+              Imap.set node.World.back_routes cid
                 { World.br_prev = prev; br_sid = sid; br_at = World.now w };
               match hops with
               | (next_addr, next_sid, next_delay) :: rest ->
@@ -208,10 +209,10 @@ let handle_fwd_reply w (node : World.node) ~cid ~reply ~capsule =
   | Some initiator when initiator = node.World.addr ->
     ignore (World.resolve w cid (Types.Fwd_reply { cid; reply; capsule }))
   | Some _ | None -> (
-    match Hashtbl.find_opt node.World.back_routes cid with
+    match Imap.find_opt node.World.back_routes cid with
     | None -> ()
     | Some route -> (
-      match Hashtbl.find_opt node.World.sessions route.World.br_sid with
+      match Imap.find_opt node.World.sessions route.World.br_sid with
       | None -> ()
       | Some key ->
         if not (Adversary.drops_fwd w node) then begin
@@ -316,9 +317,9 @@ let handle_evidence (node : World.node) ~cid =
     (* The dropper's best lie: deny having seen the message at all. *)
     (false, None, [])
   else
-    ( Hashtbl.mem node.World.received_cids cid,
-      Hashtbl.find_opt node.World.receipts cid,
-      Option.value ~default:[] (Hashtbl.find_opt node.World.statements cid) )
+    ( Imap.mem node.World.received_cids cid,
+      Imap.find_opt node.World.receipts cid,
+      Option.value ~default:[] (Imap.find_opt node.World.statements cid) )
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
@@ -336,14 +337,14 @@ let dispatch w addr (env : Types.msg Net.envelope) =
         (fun from ->
           (* A stabilizing neighbor announces itself (Chord notify). *)
           match kind with
-          | Types.Succ_list -> World.update_preds w node (from :: Rtable.preds node.World.rt)
+          | Types.Succ_list -> World.update_preds w node (from :: Rtable.preds (World.rt node))
           | Types.Pred_list ->
             (* Adopting a successor needs signed evidence: probe the
                announcer for its signed predecessor list; if it indeed
                claims us as a predecessor, adopt it (and the peers it
                names between us) and retain the document as the
                introduction proof for later CA justifications. *)
-            let succs = Rtable.succs node.World.rt in
+            let succs = Rtable.succs (World.rt node) in
             let already = List.exists (Peer.equal from) succs in
             let adoptable =
               List.length succs < w.World.cfg.Config.list_size
@@ -372,11 +373,11 @@ let dispatch w addr (env : Types.msg Net.envelope) =
                             ~lo:node.World.peer.Peer.id ~hi:from.Peer.id)
                         slist.Types.l_peers
                     in
-                    Rtable.merge_succs node.World.rt (from :: between);
+                    Rtable.merge_succs (World.rt node) (from :: between);
                     World.push_intro w node slist
                   | _ -> ())
             else if already then ()
-            else Rtable.merge_succs node.World.rt [ from ])
+            else Rtable.merge_succs (World.rt node) [ from ])
         announce;
       reply (Types.List_resp { rid; slist = Adversary.serve_list w node kind })
     | Types.Table_req { rid } ->
@@ -392,28 +393,28 @@ let dispatch w addr (env : Types.msg Net.envelope) =
     | Types.Fwd_reply { cid; reply; capsule } -> handle_fwd_reply w node ~cid ~reply ~capsule
     | Types.Receipt_msg { cid; receipt } ->
       if World.verify_receipt w receipt then begin
-        match Hashtbl.find_opt node.World.witness_waits cid with
+        match Imap.find_opt node.World.witness_waits cid with
         | Some (rid, requester) ->
-          Hashtbl.remove node.World.witness_waits cid;
+          Imap.remove node.World.witness_waits cid;
           World.send w ~src:addr ~dst:requester
             (Types.Witness_resp { rid; outcome = Either.Left receipt })
-        | None -> Hashtbl.replace node.World.receipts cid receipt
+        | None -> Imap.set node.World.receipts cid receipt
       end
     | Types.Witness_req { rid; cid; target; fwd } ->
       if not (World.is_active_malicious node) then begin
-        Hashtbl.replace node.World.witness_waits cid (rid, src);
+        Imap.set node.World.witness_waits cid (rid, src);
         World.send w ~src:addr ~dst:target.Peer.addr fwd;
         World.after w ~delay:w.World.cfg.Config.receipt_wait (fun () ->
-            match Hashtbl.find_opt node.World.witness_waits cid with
+            match Imap.find_opt node.World.witness_waits cid with
             | Some (rid, requester) ->
-              Hashtbl.remove node.World.witness_waits cid;
+              Imap.remove node.World.witness_waits cid;
               let stmt = World.sign_statement w node ~target ~cid in
               World.send w ~src:addr ~dst:requester
                 (Types.Witness_resp { rid; outcome = Either.Right stmt })
             | None -> ())
       end
     | Types.Replicate { rid; key; value } ->
-      Hashtbl.replace node.World.storage key value;
+      Imap.set node.World.storage key value;
       reply (Types.Replicate_ack { rid })
     | Types.Justify_req { rid; missing; source; provenance; before } ->
       reply

@@ -38,7 +38,7 @@ let check w (node : World.node) =
     | Some since -> World.now w -. since >= cfg.Config.pred_age_before_report
     | None -> false
   in
-  match List.filter old_enough (Rtable.preds node.World.rt) with
+  match List.filter old_enough (Rtable.preds (World.rt node)) with
   | [] -> ()
   | eligible ->
     let p = Rng.choose w.World.rng (Array.of_list eligible) in

@@ -63,7 +63,7 @@ let run w (node : World.node) k0 =
     else if not node.World.alive then k None
     else phase1 ()
   and phase1 () =
-    match Rtable.fingers node.World.rt with
+    match Rtable.fingers (World.rt node) with
     | [] -> k None
     | fingers -> (
       let u1 = Rng.choose w.World.rng (Array.of_list fingers) in

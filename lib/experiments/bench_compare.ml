@@ -1,13 +1,25 @@
 (* Comparison and regression gating over BENCH_*.json files.
 
-   The bench harness (bench/main.ml) writes a flat octopus-bench/v1 JSON
+   The bench harness (bench/main.ml) writes a flat octopus-bench JSON
    document; this module reads it back, pairs kernels between a baseline
    and a current run, and decides whether the run regressed past a
    threshold — the pure logic behind `bench --compare --fail-above`, kept
    in a library so the exit-code policy is unit-testable without timing
-   anything. *)
+   anything.
 
-type row = { ns_per_op : float; minor_words_per_op : float }
+   Two schema generations are read interchangeably: octopus-bench/v1
+   (ns_per_op + minor_words_per_op) and octopus-bench/v2, which adds
+   major_words_per_op, peak_heap_mb and bytes_per_node. Metrics absent
+   from a file parse as NaN and are skipped by the pairing logic, so a
+   v1 baseline gates a v2 run on the metrics both carry. *)
+
+type row = {
+  ns_per_op : float;
+  minor_words_per_op : float;
+  major_words_per_op : float;  (* NaN in v1 files *)
+  peak_heap_mb : float;  (* NaN in v1 files *)
+  bytes_per_node : float;  (* NaN except on scale kernels *)
+}
 
 type delta = {
   kernel : string;
@@ -123,7 +135,10 @@ let parse ~path src =
             (match peek () with Some ',' -> advance () | _ -> ());
             kernels
               ((name, { ns_per_op = metric "ns_per_op" fields;
-                        minor_words_per_op = metric "minor_words_per_op" fields })
+                        minor_words_per_op = metric "minor_words_per_op" fields;
+                        major_words_per_op = metric "major_words_per_op" fields;
+                        peak_heap_mb = metric "peak_heap_mb" fields;
+                        bytes_per_node = metric "bytes_per_node" fields })
                :: acc)
         in
         parse_top (kernels acc)
@@ -197,6 +212,44 @@ let unpaired ~baseline ~current =
   (only_in baseline current, only_in current baseline)
 
 let regressions ~fail_above ds = List.filter (fun d -> d.pct > fail_above) ds
+
+(* ------------------------------------------------------------------ *)
+(* Memory gating (octopus-bench/v2): every memory metric present on both
+   sides of a kernel pairing yields its own delta, so `--fail-above`
+   bounds heap growth exactly like it bounds ns/op. v1 baselines carry
+   NaN for these metrics and produce no memory deltas. *)
+
+type mem_delta = {
+  m_kernel : string;
+  m_metric : string;  (* "major_words_per_op" | "peak_heap_mb" | "bytes_per_node" *)
+  m_base : float;
+  m_now : float;
+  m_pct : float;  (* (now - base) / base * 100; positive = more memory *)
+}
+
+let mem_metrics =
+  [
+    ("major_words_per_op", fun r -> r.major_words_per_op);
+    ("peak_heap_mb", fun r -> r.peak_heap_mb);
+    ("bytes_per_node", fun r -> r.bytes_per_node);
+  ]
+
+let mem_deltas ~baseline ~current =
+  List.concat_map
+    (fun (kernel, now) ->
+      match List.assoc_opt kernel baseline with
+      | None -> []
+      | Some base ->
+        List.filter_map
+          (fun (m_metric, get) ->
+            let b = get base and n = get now in
+            if Float.is_nan b || Float.is_nan n || b <= 0.0 then None
+            else Some { m_kernel = kernel; m_metric; m_base = b; m_now = n;
+                        m_pct = (n -. b) /. b *. 100.0 })
+          mem_metrics)
+    current
+
+let mem_regressions ~fail_above ds = List.filter (fun d -> d.m_pct > fail_above) ds
 
 let worst = function
   | [] -> None

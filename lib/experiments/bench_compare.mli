@@ -1,12 +1,20 @@
 (** Reading BENCH_*.json files and gating on perf regressions.
 
     The pure logic behind [bench --compare --fail-above]: parse the
-    octopus-bench/v1 schema, pair kernels between a baseline and the
-    current run, and decide the process exit code — kept out of
+    octopus-bench/v1 or /v2 schema, pair kernels between a baseline and
+    the current run, and decide the process exit code — kept out of
     [bench/main.ml] so the policy is unit-testable without timing
-    anything. *)
+    anything. Metrics a file does not carry parse as NaN and never
+    gate, so v1 baselines and v2 runs compare cleanly on the metrics
+    both record. *)
 
-type row = { ns_per_op : float; minor_words_per_op : float }
+type row = {
+  ns_per_op : float;
+  minor_words_per_op : float;
+  major_words_per_op : float;  (** NaN in v1 files *)
+  peak_heap_mb : float;  (** NaN in v1 files *)
+  bytes_per_node : float;  (** NaN except on scale kernels *)
+}
 
 type delta = {
   kernel : string;
@@ -38,6 +46,25 @@ val unpaired :
 
 val regressions : fail_above:float -> delta list -> delta list
 (** Deltas slower than [fail_above] percent. *)
+
+type mem_delta = {
+  m_kernel : string;
+  m_metric : string;
+      (** ["major_words_per_op"], ["peak_heap_mb"] or ["bytes_per_node"] *)
+  m_base : float;
+  m_now : float;
+  m_pct : float;  (** (now - base) / base * 100; positive = more memory *)
+}
+
+val mem_deltas :
+  baseline:(string * row) list -> current:(string * row) list -> mem_delta list
+(** One delta per kernel pairing per memory metric finite and positive
+    on both sides. A v1 baseline (no memory fields) produces none, so
+    memory gating switches on automatically once a v2 baseline is
+    recorded. *)
+
+val mem_regressions : fail_above:float -> mem_delta list -> mem_delta list
+(** Memory deltas grown past [fail_above] percent. *)
 
 val worst : delta list -> delta option
 (** The largest regression (most positive [pct]), if any deltas paired. *)

@@ -161,6 +161,8 @@ type result = {
   latency : Metrics.Sketch.t;
   bandwidth : Metrics.Sketch.t;
   rpc_queued : int;
+  delivered : int;
+  duplicates : int;
   trace : Trace.t;
   checker : Invariant.t;
   entropy : Cache_entropy.report option;
@@ -168,6 +170,13 @@ type result = {
 
 let success_rate r =
   if r.issued = 0 then 0.0 else float_of_int r.converged /. float_of_int r.issued
+
+(* Delivered messages over unique messages (pubsub-style amplification
+   factor): the fault layer is the only source of duplicate deliveries,
+   so unique = delivered - injected duplicates. 1.0 on a clean run. *)
+let duplicate_factor r =
+  let unique = r.delivered - r.duplicates in
+  if unique <= 0 then 1.0 else float_of_int r.delivered /. float_of_int unique
 
 let passed r = r.issued > 0 && success_rate r >= threshold r.regime
 
@@ -358,7 +367,45 @@ let run ?(n = 60) ?(seed = 7) ?(queries = 2000) ?(cache = false) ?(chaos = false
     latency;
     bandwidth;
     rpc_queued = Rpc.queued_ever w.World.rpc;
+    delivered = Net.messages_delivered w.World.net;
+    duplicates =
+      (match Scenario.fault sc with Some f -> Octo_sim.Fault.duplicates f | None -> 0);
     trace;
     checker;
     entropy;
   }
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary (the `load --json` report) *)
+
+let summary_json r =
+  let b = Buffer.create 1024 in
+  let q p = Metrics.Sketch.quantile r.latency p in
+  let num f =
+    (* JSON has no NaN/inf literals; an empty sketch reports null. *)
+    if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"octopus-load/v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"regime\": %S,\n" (regime_name r.regime));
+  Buffer.add_string b (Printf.sprintf "  \"requested\": %d,\n" r.requested);
+  Buffer.add_string b (Printf.sprintf "  \"issued\": %d,\n" r.issued);
+  Buffer.add_string b (Printf.sprintf "  \"completed\": %d,\n" r.completed);
+  Buffer.add_string b (Printf.sprintf "  \"converged\": %d,\n" r.converged);
+  Buffer.add_string b (Printf.sprintf "  \"skipped\": %d,\n" r.skipped);
+  Buffer.add_string b (Printf.sprintf "  \"cache_hits\": %d,\n" r.cache_hits);
+  Buffer.add_string b (Printf.sprintf "  \"success_rate\": %s,\n" (num (success_rate r)));
+  Buffer.add_string b (Printf.sprintf "  \"duration_s\": %s,\n" (num r.duration));
+  Buffer.add_string b
+    (Printf.sprintf "  \"latency_s\": { \"p50\": %s, \"p99\": %s, \"p999\": %s, \"max\": %s },\n"
+       (num (q 0.5)) (num (q 0.99)) (num (q 0.999)) (num (Metrics.Sketch.max r.latency)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"bandwidth_bps\": { \"mean\": %s, \"p99\": %s },\n"
+       (num (Metrics.Sketch.mean r.bandwidth))
+       (num (Metrics.Sketch.quantile r.bandwidth 0.99)));
+  Buffer.add_string b (Printf.sprintf "  \"rpc_queued\": %d,\n" r.rpc_queued);
+  Buffer.add_string b (Printf.sprintf "  \"messages_delivered\": %d,\n" r.delivered);
+  Buffer.add_string b (Printf.sprintf "  \"duplicate_deliveries\": %d,\n" r.duplicates);
+  Buffer.add_string b (Printf.sprintf "  \"duplicate_factor\": %s\n" (num (duplicate_factor r)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -91,6 +91,8 @@ type result = {
   latency : Octo_sim.Metrics.Sketch.t;  (** per-lookup elapsed seconds *)
   bandwidth : Octo_sim.Metrics.Sketch.t;  (** per-node (tx+rx)/duration, B/s *)
   rpc_queued : int;  (** calls ever deferred by the in-flight cap *)
+  delivered : int;  (** network messages delivered, duplicates included *)
+  duplicates : int;  (** duplicate deliveries injected by the fault layer *)
   trace : Octo_sim.Trace.t;
   checker : Octopus.Invariant.t;
   entropy : Octo_anonymity.Cache_entropy.report option;
@@ -99,6 +101,17 @@ type result = {
 
 val success_rate : result -> float
 (** [converged / issued]; unfinished lookups count against it. *)
+
+val duplicate_factor : result -> float
+(** Delivered messages over unique messages (delivered minus injected
+    duplicate deliveries) — the pubsub-style amplification factor.
+    [1.0] on a clean run; above it only when the duplication fault is
+    active ([chaos]). *)
+
+val summary_json : result -> string
+(** The octopus-load/v1 JSON summary written by [load --json]: counts,
+    success rate, latency/bandwidth quantiles, RPC backpressure, and
+    the duplicate-factor metric. Non-finite values render as [null]. *)
 
 val passed : result -> bool
 (** [issued > 0] and {!success_rate} clears {!threshold}. *)

@@ -49,14 +49,16 @@ let fire t ev =
 let run t ~until =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | Some (time, _) when time <= until ->
-      (match Heap.pop t.queue with
-      | Some (time, ev) ->
+    if Heap.is_empty t.queue then continue := false
+    else begin
+      let time = Heap.min_prio t.queue in
+      if time <= until then begin
+        let ev = Heap.pop_exn t.queue in
         t.clock <- Float.max t.clock time;
         fire t ev
-      | None -> continue := false)
-    | Some _ | None -> continue := false
+      end
+      else continue := false
+    end
   done;
   t.clock <- Float.max t.clock until
 
@@ -64,12 +66,14 @@ let run_until_idle t ?(max_events = max_int) () =
   let budget = ref max_events in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.pop t.queue with
-    | Some (time, ev) ->
+    if Heap.is_empty t.queue then continue := false
+    else begin
+      let time = Heap.min_prio t.queue in
+      let ev = Heap.pop_exn t.queue in
       t.clock <- Float.max t.clock time;
       if not ev.cancelled then decr budget;
       fire t ev
-    | None -> continue := false
+    end
   done
 
 let events_processed t = t.fired

@@ -1,76 +1,107 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Parallel-array binary min-heap: priorities live in an unboxed float
+   array and tie-breaking sequence numbers in an int array, so a push
+   allocates nothing once capacity is reached (the old entry-record
+   representation boxed a 4-word record plus a float per event). Stale
+   value slots beyond [len] may pin old elements until overwritten, same
+   as the previous representation. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; len = 0; next_seq = 0 }
+let create () = { prios = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
 let size t = t.len
 let is_empty t = t.len = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less t i j =
+  let pi = Array.unsafe_get t.prios i and pj = Array.unsafe_get t.prios j in
+  pi < pj || (pi = pj && Array.unsafe_get t.seqs i < Array.unsafe_get t.seqs j)
 
-let grow t entry =
-  let cap = Array.length t.data in
+let swap t i j =
+  let p = Array.unsafe_get t.prios i in
+  Array.unsafe_set t.prios i (Array.unsafe_get t.prios j);
+  Array.unsafe_set t.prios j p;
+  let s = Array.unsafe_get t.seqs i in
+  Array.unsafe_set t.seqs i (Array.unsafe_get t.seqs j);
+  Array.unsafe_set t.seqs j s;
+  let v = Array.unsafe_get t.vals i in
+  Array.unsafe_set t.vals i (Array.unsafe_get t.vals j);
+  Array.unsafe_set t.vals j v
+
+let grow t value =
+  let cap = Array.length t.vals in
   if t.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap entry in
-    Array.blit t.data 0 ndata 0 t.len;
-    t.data <- ndata
+    let nprios = Array.make ncap 0.0 in
+    let nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap value in
+    Array.blit t.prios 0 nprios 0 t.len;
+    Array.blit t.seqs 0 nseqs 0 t.len;
+    Array.blit t.vals 0 nvals 0 t.len;
+    t.prios <- nprios;
+    t.seqs <- nseqs;
+    t.vals <- nvals
   end
 
 let push t ~priority value =
-  let entry = { prio = priority; seq = t.next_seq; value } in
+  grow t value;
+  let i = ref t.len in
+  t.prios.(!i) <- priority;
+  t.seqs.(!i) <- t.next_seq;
+  t.vals.(!i) <- value;
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   (* Sift up. *)
-  let i = ref (t.len - 1) in
-  while
-    !i > 0
-    &&
+  while !i > 0 && less t !i ((!i - 1) / 2) do
     let parent = (!i - 1) / 2 in
-    less t.data.(!i) t.data.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.data.(!i) in
-    t.data.(!i) <- t.data.(parent);
-    t.data.(parent) <- tmp;
+    swap t !i parent;
     i := parent
   done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.len && less t l !smallest then smallest := l;
+    if r < t.len && less t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let min_prio t =
+  if t.len = 0 then invalid_arg "Heap.min_prio: empty heap";
+  Array.unsafe_get t.prios 0
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = Array.unsafe_get t.vals 0 in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    swap t 0 t.len;
+    sift_down t
+  end;
+  top
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.prio, top.value)
+    let prio = min_prio t in
+    Some (prio, pop_exn t)
   end
 
-let peek t = if t.len = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let peek t = if t.len = 0 then None else Some (t.prios.(0), t.vals.(0))
 
 let clear t =
   t.len <- 0;
-  t.data <- [||]
+  t.prios <- [||];
+  t.seqs <- [||];
+  t.vals <- [||]

@@ -1,7 +1,11 @@
 (** Array-backed binary min-heap keyed by [(priority, sequence)].
 
     Ties on priority are broken by insertion order so that simultaneous
-    simulation events fire FIFO, keeping runs deterministic. *)
+    simulation events fire FIFO, keeping runs deterministic. The heap is
+    stored as parallel arrays (an unboxed float array of priorities, an
+    int array of sequence numbers, a value array), so pushing and popping
+    allocate nothing once capacity has been reached — this is the
+    population-scale scheduler-entry pool. *)
 
 type 'a t
 
@@ -16,6 +20,15 @@ val push : 'a t -> priority:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element, FIFO among ties. *)
+
+val min_prio : 'a t -> float
+(** Priority of the minimum element without allocating. Raises
+    [Invalid_argument] on an empty heap; check {!is_empty} first. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum element without allocating the
+    [(prio, value)] pair; read {!min_prio} first if the priority is
+    needed. Raises [Invalid_argument] on an empty heap. *)
 
 val peek : 'a t -> (float * 'a) option
 

@@ -20,18 +20,26 @@ let exhausted p ~attempt = attempt > p.attempts
 
 type state = Queued | Flying | Backoff | Done
 
+(* Entries are pooled: every field is mutable so a retired record can be
+   re-initialised in place by the next [call] instead of allocating a
+   fresh 12-field record per RPC. [e_queued] tracks physical membership
+   in a backpressure FIFO — an entry may be logically Done while a stale
+   reference to it still sits in a queue (cancelled or deadline-expired
+   while queued), and recycling it then would let the queue resurrect a
+   different call. Such entries are recycled by the queue pop instead. *)
 type 'm entry = {
-  e_rid : int;
-  e_src : int;
-  e_dst : int;
-  e_policy : policy;
-  e_deadline : float;  (* absolute; [infinity] when unbounded *)
-  e_send : int -> unit;
-  e_on_give_up : unit -> unit;
-  e_k : 'm -> unit;
+  mutable e_rid : int;
+  mutable e_src : int;
+  mutable e_dst : int;
+  mutable e_policy : policy;
+  mutable e_deadline : float;  (* absolute; [infinity] when unbounded *)
+  mutable e_send : int -> unit;
+  mutable e_on_give_up : unit -> unit;
+  mutable e_k : 'm -> unit;
   mutable e_attempt : int;  (* attempts launched so far *)
   mutable e_state : state;
   mutable e_timer : Engine.handle option;
+  mutable e_queued : bool;  (* physically present in some backpressure queue *)
 }
 
 type 'm t = {
@@ -41,6 +49,7 @@ type 'm t = {
   table : (int, 'm entry) Hashtbl.t;
   flying : (int, int) Hashtbl.t;  (* dst -> calls holding a slot *)
   queues : (int, 'm entry Queue.t) Hashtbl.t;  (* dst -> backpressure FIFO *)
+  mutable free : 'm entry list;  (* retired entries ready for reuse *)
   mutable next_id : int;
   mutable queued_total : int;  (* calls ever deferred by the in-flight cap *)
 }
@@ -55,6 +64,7 @@ let create engine ~rng ?(in_flight_cap = 0) () =
     table = Hashtbl.create 64;
     flying = Hashtbl.create 16;
     queues = Hashtbl.create 16;
+    free = [];
     next_id = 0;
     queued_total = 0;
   }
@@ -74,12 +84,24 @@ let caller t rid =
 let emit t data =
   if Trace.on () then Trace.emit ~time:(Engine.now t.engine) ~node:(-1) data
 
+let nop_send (_ : int) = ()
+let nop_give_up () = ()
+
 let cancel_timer e =
   match e.e_timer with
   | Some h ->
     Engine.cancel h;
     e.e_timer <- None
   | None -> ()
+
+(* Drop closure references so a pooled entry does not pin its last
+   call's environment, then make the entry available for reuse. Only
+   legal once the entry is Done and out of every queue. *)
+let recycle t e =
+  e.e_send <- nop_send;
+  e.e_on_give_up <- nop_give_up;
+  e.e_k <- ignore;
+  t.free <- e :: t.free
 
 let take_slot t dst = Hashtbl.replace t.flying dst (in_flight t ~dst + 1)
 
@@ -101,7 +123,7 @@ let rec attempt t e =
 and on_timeout t e =
   if e.e_state = Flying then begin
     e.e_timer <- None;
-    emit t (Trace.Rpc_timeout { rid = e.e_rid });
+    if Trace.on () then emit t (Trace.Rpc_timeout { rid = e.e_rid });
     let now = Engine.now t.engine in
     if e.e_attempt >= e.e_policy.attempts || now >= e.e_deadline then give_up t e
     else begin
@@ -116,7 +138,8 @@ and on_timeout t e =
       if now +. delay >= e.e_deadline then give_up t e
       else begin
         e.e_state <- Backoff;
-        emit t (Trace.Rpc_retry { rid = e.e_rid; attempt = e.e_attempt + 1; backoff = delay });
+        if Trace.on () then
+          emit t (Trace.Rpc_retry { rid = e.e_rid; attempt = e.e_attempt + 1; backoff = delay });
         e.e_timer <-
           Some
             (Engine.schedule t.engine ~delay (fun () ->
@@ -127,20 +150,26 @@ and on_timeout t e =
 
 and give_up t e =
   let attempts = e.e_attempt in
+  let rid = e.e_rid and dst = e.e_dst and on_give_up = e.e_on_give_up in
   let held = retire t e in
-  emit t (Trace.Rpc_giveup { rid = e.e_rid; attempts });
+  if Trace.on () then emit t (Trace.Rpc_giveup { rid; attempts });
   (* Notify before pumping so the failed call is fully settled from the
-     caller's point of view when the next queued send fires. *)
-  e.e_on_give_up ();
-  if held then pump t e.e_dst
+     caller's point of view when the next queued send fires. [e] may
+     already be recycled here — only the locals above are safe. *)
+  on_give_up ();
+  if held then pump t dst
 
 (* Retire an entry, releasing its in-flight slot if it held one; the
-   caller pumps the queue after running user callbacks. *)
+   caller pumps the queue after running user callbacks. The entry goes
+   back to the pool unless a backpressure queue still references it, in
+   which case the eventual queue pop recycles it. Callers must copy any
+   fields they still need to locals *before* retiring. *)
 and retire t e =
   let held_slot = e.e_state = Flying || e.e_state = Backoff in
   e.e_state <- Done;
   Hashtbl.remove t.table e.e_rid;
   if held_slot then release_slot t e.e_dst;
+  if not e.e_queued then recycle t e;
   held_slot
 
 and pump t dst =
@@ -150,6 +179,7 @@ and pump t dst =
     | Some q ->
       if (not (Queue.is_empty q)) && in_flight t ~dst < t.cap then begin
         let e = Queue.pop q in
+        e.e_queued <- false;
         if e.e_state = Queued then begin
           cancel_timer e;
           if Engine.now t.engine >= e.e_deadline then begin
@@ -162,26 +192,49 @@ and pump t dst =
             attempt t e
           end
         end
-        else pump t dst (* cancelled while queued; skip *)
+        else begin
+          (* Cancelled or expired while queued: the retire that settled
+             it deferred recycling to this pop. *)
+          recycle t e;
+          pump t dst
+        end
       end
 
 let call t ~src ~dst ?(deadline = infinity) ~policy ~send ~on_give_up k =
   let rid = t.next_id in
   t.next_id <- t.next_id + 1;
   let e =
-    {
-      e_rid = rid;
-      e_src = src;
-      e_dst = dst;
-      e_policy = policy;
-      e_deadline = deadline;
-      e_send = send;
-      e_on_give_up = on_give_up;
-      e_k = k;
-      e_attempt = 0;
-      e_state = Queued;
-      e_timer = None;
-    }
+    match t.free with
+    | e :: rest ->
+      t.free <- rest;
+      e.e_rid <- rid;
+      e.e_src <- src;
+      e.e_dst <- dst;
+      e.e_policy <- policy;
+      e.e_deadline <- deadline;
+      e.e_send <- send;
+      e.e_on_give_up <- on_give_up;
+      e.e_k <- k;
+      e.e_attempt <- 0;
+      e.e_state <- Queued;
+      e.e_timer <- None;
+      e.e_queued <- false;
+      e
+    | [] ->
+      {
+        e_rid = rid;
+        e_src = src;
+        e_dst = dst;
+        e_policy = policy;
+        e_deadline = deadline;
+        e_send = send;
+        e_on_give_up = on_give_up;
+        e_k = k;
+        e_attempt = 0;
+        e_state = Queued;
+        e_timer = None;
+        e_queued = false;
+      }
   in
   Hashtbl.replace t.table rid e;
   if t.cap > 0 && in_flight t ~dst >= t.cap then begin
@@ -194,8 +247,9 @@ let call t ~src ~dst ?(deadline = infinity) ~policy ~send ~on_give_up k =
         q
     in
     Queue.push e q;
+    e.e_queued <- true;
     t.queued_total <- t.queued_total + 1;
-    emit t (Trace.Rpc_queued { rid; dst });
+    if Trace.on () then emit t (Trace.Rpc_queued { rid; dst });
     if deadline < infinity then
       e.e_timer <-
         Some
@@ -217,13 +271,14 @@ let resolve t id resp =
   match Hashtbl.find_opt t.table id with
   | Some e when e.e_state <> Done ->
     cancel_timer e;
+    let dst = e.e_dst and k = e.e_k in
     let held = retire t e in
-    emit t (Trace.Rpc_resolve { rid = id });
-    e.e_k resp;
-    if held then pump t e.e_dst;
+    if Trace.on () then emit t (Trace.Rpc_resolve { rid = id });
+    k resp;
+    if held then pump t dst;
     true
   | _ ->
-    emit t (Trace.Rpc_late { rid = id });
+    if Trace.on () then emit t (Trace.Rpc_late { rid = id });
     false
 
 let cancel t = function
@@ -232,7 +287,8 @@ let cancel t = function
     match Hashtbl.find_opt t.table id with
     | Some e when e.e_state <> Done ->
       cancel_timer e;
-      if retire t e then pump t e.e_dst
+      let dst = e.e_dst in
+      if retire t e then pump t dst
     | _ -> ())
 
 let fail_queued t ~dst =
@@ -246,7 +302,8 @@ let fail_queued t ~dst =
       let doomed = ref [] in
       while not (Queue.is_empty q) do
         let e = Queue.pop q in
-        if e.e_state = Queued then doomed := e :: !doomed
+        e.e_queued <- false;
+        if e.e_state = Queued then doomed := e :: !doomed else recycle t e
       done;
       List.iter
         (fun e ->

@@ -1,0 +1,10 @@
+(* D7 fixtures: per-node hot state as Hashtbl in the core/chord layers. *)
+
+let fresh () = Hashtbl.create 16
+
+let in_record () = { contents = Hashtbl.create 8 }
+
+(* population-level tables carry a named suppression *)
+let registry () =
+  (* octolint: allow compact-node-state — one registry per deployment *)
+  Hashtbl.create 64

@@ -1,0 +1,4 @@
+(* Present so rule D6 stays quiet for this fixture. *)
+val fresh : unit -> (int, int) Hashtbl.t
+val in_record : unit -> (int, int) Hashtbl.t ref
+val registry : unit -> (int, int) Hashtbl.t

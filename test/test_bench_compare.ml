@@ -1,10 +1,19 @@
 (* Tests for the bench --compare / --fail-above policy: JSON round-trip
-   through the octopus-bench/v1 schema, delta pairing, and the exit-code
-   contract CI gates on. *)
+   through the octopus-bench/v1 and /v2 schemas, delta pairing, memory
+   deltas, and the exit-code contract CI gates on. *)
 
 open Octo_experiments
 
-let row ns = { Bench_compare.ns_per_op = ns; minor_words_per_op = 0.0 }
+let full ns ~major ~peak ~bpn =
+  {
+    Bench_compare.ns_per_op = ns;
+    minor_words_per_op = 0.0;
+    major_words_per_op = major;
+    peak_heap_mb = peak;
+    bytes_per_node = bpn;
+  }
+
+let row ns = full ns ~major:Float.nan ~peak:Float.nan ~bpn:Float.nan
 
 let sample_json =
   {|{
@@ -96,6 +105,50 @@ let test_unpaired_empty_on_match () =
   Alcotest.(check (list string)) "no baseline-only" [] only_base;
   Alcotest.(check (list string)) "no current-only" [] only_cur
 
+(* v2 schema round-trip: memory metrics parse when present and stay NaN
+   when the file predates them. *)
+let sample_json_v2 =
+  {|{
+  "schema": "octopus-bench/v2",
+  "kernels": {
+    "a/fast": { "ns_per_op": 100.0, "minor_words_per_op": 12.0, "major_words_per_op": 3.5 },
+    "scale/world-10k": { "ns_per_op": null, "minor_words_per_op": null, "major_words_per_op": 900.0, "peak_heap_mb": 64.0, "bytes_per_node": 512.0 }
+  }
+}|}
+
+let test_parse_v2 () =
+  let rows = Bench_compare.parse ~path:"v2" sample_json_v2 in
+  let a = List.assoc "a/fast" rows in
+  Alcotest.(check (float 1e-9)) "major" 3.5 a.Bench_compare.major_words_per_op;
+  Alcotest.(check bool) "no peak on micro kernel" true (Float.is_nan a.Bench_compare.peak_heap_mb);
+  let s = List.assoc "scale/world-10k" rows in
+  Alcotest.(check (float 1e-9)) "bytes/node" 512.0 s.Bench_compare.bytes_per_node;
+  Alcotest.(check (float 1e-9)) "peak MB" 64.0 s.Bench_compare.peak_heap_mb;
+  (* v1 files parse with the memory metrics absent, not failing. *)
+  let v1 = Bench_compare.parse ~path:"v1" sample_json in
+  let b = List.assoc "b/slow" v1 in
+  Alcotest.(check bool) "v1 major is nan" true (Float.is_nan b.Bench_compare.major_words_per_op)
+
+let test_mem_deltas () =
+  let baseline =
+    [ ("scale", full Float.nan ~major:1000.0 ~peak:50.0 ~bpn:500.0); ("k", row 100.0) ]
+  in
+  let current =
+    [ ("scale", full Float.nan ~major:1100.0 ~peak:50.0 ~bpn:400.0); ("k", row 100.0) ]
+  in
+  let mds = Bench_compare.mem_deltas ~baseline ~current in
+  (* k carries no memory metrics -> 0 deltas; scale pairs all three. *)
+  Alcotest.(check int) "three memory deltas" 3 (List.length mds);
+  let major = List.find (fun d -> d.Bench_compare.m_metric = "major_words_per_op") mds in
+  Alcotest.(check (float 1e-9)) "major +10%" 10.0 major.Bench_compare.m_pct;
+  let bpn = List.find (fun d -> d.Bench_compare.m_metric = "bytes_per_node") mds in
+  Alcotest.(check (float 1e-9)) "bytes/node -20%" (-20.0) bpn.Bench_compare.m_pct;
+  Alcotest.(check int) "only major regresses past 5%" 1
+    (List.length (Bench_compare.mem_regressions ~fail_above:5.0 mds));
+  (* A v1 baseline (all-NaN memory) produces no memory deltas at all. *)
+  Alcotest.(check int) "v1 baseline -> no mem deltas" 0
+    (List.length (Bench_compare.mem_deltas ~baseline:[ ("scale", row 1.0) ] ~current))
+
 let test_threshold_boundary () =
   let ds = Bench_compare.deltas ~baseline:[ ("k", row 100.0) ] ~current:[ ("k", row 110.0) ] in
   (* strictly-above semantics: exactly at the threshold passes *)
@@ -109,6 +162,7 @@ let () =
       ( "parse",
         [
           Alcotest.test_case "schema round-trip" `Quick test_parse;
+          Alcotest.test_case "v2 schema round-trip" `Quick test_parse_v2;
           Alcotest.test_case "malformed input" `Quick test_parse_malformed;
         ] );
       ( "gate",
@@ -116,6 +170,7 @@ let () =
           Alcotest.test_case "delta pairing" `Quick test_deltas_pairing;
           Alcotest.test_case "nan/zero skipped" `Quick test_deltas_skip_nan;
           Alcotest.test_case "worst delta" `Quick test_worst;
+          Alcotest.test_case "memory deltas" `Quick test_mem_deltas;
           Alcotest.test_case "exit codes" `Quick test_exit_code;
           Alcotest.test_case "threshold boundary" `Quick test_threshold_boundary;
           Alcotest.test_case "unpaired reported" `Quick test_unpaired_reported;

@@ -1,0 +1,134 @@
+(* Model-based equivalence for Imap, the sorted-parallel-array map that
+   replaced per-node Hashtbls in the population-scale refactor. Random
+   operation sequences are applied to an Imap and to a Hashtbl model;
+   every observation the call sites rely on must agree — including
+   iteration order, which for the Hashtbl model means the sorted order
+   the old code obtained through Tbl.iter_sorted. *)
+
+module Imap = Octo_sim.Imap
+
+(* Small key domain so sequences revisit keys: replace-on-set, remove of
+   present keys, and shrinking back to empty all get exercised. *)
+let key_bound = 32
+
+type op = Set of int * int | Remove of int | Clear
+
+let op_gen =
+  QCheck.map
+    (fun (tag, key, v) ->
+      if tag < 7 then Set (key, v) else if tag < 9 then Remove key else Clear)
+    QCheck.(triple (int_bound 9) (int_bound (key_bound - 1)) (int_bound 999))
+
+let apply_imap m = function
+  | Set (k, v) -> Imap.set m k v
+  | Remove k -> Imap.remove m k
+  | Clear -> Imap.clear m
+
+let apply_model tbl = function
+  | Set (k, v) -> Hashtbl.replace tbl k v
+  | Remove k -> Hashtbl.remove tbl k
+  | Clear -> Hashtbl.reset tbl
+
+let model_sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let build ops =
+  let m = Imap.create () in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      apply_imap m op;
+      apply_model tbl op)
+    ops;
+  (m, tbl)
+
+let test_lookup_equivalence =
+  QCheck.Test.make ~name:"find_opt/mem/length match the Hashtbl model" ~count:500
+    QCheck.(list op_gen)
+    (fun ops ->
+      let m, tbl = build ops in
+      if Imap.length m <> Hashtbl.length tbl then false
+      else if Imap.is_empty m <> (Hashtbl.length tbl = 0) then false
+      else begin
+        let ok = ref true in
+        for k = 0 to key_bound - 1 do
+          if Imap.find_opt m k <> Hashtbl.find_opt tbl k then ok := false;
+          if Imap.mem m k <> Hashtbl.mem tbl k then ok := false
+        done;
+        !ok
+      end)
+
+let test_iteration_order =
+  QCheck.Test.make ~name:"iter/fold visit ascending key order (= iter_sorted)" ~count:500
+    QCheck.(list op_gen)
+    (fun ops ->
+      let m, tbl = build ops in
+      let expected = model_sorted tbl in
+      let via_iter = ref [] in
+      Imap.iter (fun k v -> via_iter := (k, v) :: !via_iter) m;
+      let via_fold = Imap.fold (fun k v acc -> (k, v) :: acc) m [] in
+      List.rev !via_iter = expected && List.rev via_fold = expected)
+
+let test_first_and_ceil =
+  QCheck.Test.make ~name:"first/find_ceil = brute force over the model" ~count:500
+    QCheck.(list op_gen)
+    (fun ops ->
+      let m, tbl = build ops in
+      let sorted = model_sorted tbl in
+      let first_ok =
+        Imap.first m = (match sorted with [] -> None | kv :: _ -> Some kv)
+      in
+      first_ok
+      && List.for_all
+           (fun probe ->
+             let expected = List.find_opt (fun (k, _) -> k >= probe) sorted in
+             Imap.find_ceil m probe = expected)
+           (List.init (key_bound + 2) (fun i -> i - 1)))
+
+let test_min_by =
+  QCheck.Test.make ~name:"min_by = first minimum in ascending key order" ~count:500
+    QCheck.(list op_gen)
+    (fun ops ->
+      let m, tbl = build ops in
+      let skip k _ = k mod 3 = 0 in
+      let score _ v = v mod 7 in
+      let expected =
+        List.fold_left
+          (fun acc (k, v) ->
+            if skip k v then acc
+            else
+              let s = score k v in
+              match acc with
+              | Some (_, _, best) when best <= s -> acc
+              | _ -> Some (k, v, s))
+          None (model_sorted tbl)
+      in
+      Imap.min_by ~skip ~score m = expected)
+
+let test_remove_releases_then_reusable =
+  QCheck.Test.make ~name:"emptied maps accept fresh inserts" ~count:200
+    QCheck.(list op_gen)
+    (fun ops ->
+      let m, tbl = build ops in
+      (* Drain everything through remove (not clear), then reuse. *)
+      List.iter (fun (k, _) -> Imap.remove m k) (model_sorted tbl);
+      if not (Imap.is_empty m) then false
+      else begin
+        Imap.set m 7 42;
+        Imap.find_opt m 7 = Some 42 && Imap.length m = 1
+      end)
+
+let () =
+  Alcotest.run "imap"
+    [
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_lookup_equivalence;
+            test_iteration_order;
+            test_first_and_ceil;
+            test_min_by;
+            test_remove_releases_then_reusable;
+          ] );
+    ]

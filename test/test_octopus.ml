@@ -37,7 +37,7 @@ let test_world_bootstrap () =
   Array.iteri
     (fun i p ->
       let node = World.node w p.Peer.addr in
-      let succ = Option.get (Rtable.successor node.World.rt) in
+      let succ = Option.get (Rtable.successor (World.rt node)) in
       Alcotest.(check int) "ring successor" peers.((i + 1) mod 120).Peer.id succ.Peer.id)
     peers
 
@@ -67,7 +67,7 @@ let test_world_pool_provisioned () =
       List.iter
         (fun (p : World.pair) ->
           let relay_has (r : World.relay) =
-            Hashtbl.mem (World.node w r.World.r_peer.Peer.addr).World.sessions r.World.r_sid
+            World.Imap.mem (World.node w r.World.r_peer.Peer.addr).World.sessions r.World.r_sid
           in
           Alcotest.(check bool) "sessions installed" true
             (relay_has p.World.p_first && relay_has p.World.p_second))
@@ -239,7 +239,7 @@ let test_walk_yields_pair () =
       (c.World.r_peer.Peer.addr <> 0 && d.World.r_peer.Peer.addr <> 0);
     (* Session keys installed at the pair members. *)
     let has (r : World.relay) =
-      Hashtbl.mem (World.node w r.World.r_peer.Peer.addr).World.sessions r.World.r_sid
+      World.Imap.mem (World.node w r.World.r_peer.Peer.addr).World.sessions r.World.r_sid
     in
     Alcotest.(check bool) "sessions live" true (has c && has d)
   | Some None -> Alcotest.fail "walk gave up"
@@ -380,14 +380,14 @@ let test_omission_chain_convicts () =
     |> List.find_opt (fun (n : World.node) ->
            n.World.malicious
            &&
-           match Rtable.successor n.World.rt with
+           match Rtable.successor (World.rt n) with
            | Some s -> not (World.node w s.Peer.addr).World.malicious
            | None -> false)
   in
   match candidate with
   | None -> Alcotest.fail "no suitable topology"
   | Some mal ->
-    let missing = Option.get (Rtable.successor mal.World.rt) in
+    let missing = Option.get (Rtable.successor (World.rt mal)) in
     let claimed = Adversary.serve_list w mal Types.Succ_list in
     Alcotest.(check bool) "attack omits the successor" false
       (List.exists (Peer.equal missing) claimed.Types.l_peers);
@@ -605,15 +605,15 @@ let test_phase2_index_deterministic () =
 let test_pred_since_resets_on_identity_change () =
   let engine, w, _ = make_world ~n:60 ~seed:30 () in
   let node = World.node w 0 in
-  let pred = Option.get (Rtable.predecessor node.World.rt) in
+  let pred = Option.get (Rtable.predecessor (World.rt node)) in
   Engine.run engine ~until:20.0;
-  World.update_preds w node (Rtable.preds node.World.rt);
+  World.update_preds w node (Rtable.preds (World.rt node));
   (match World.pred_known_since node pred with
   | Some since -> Alcotest.(check bool) "known since bootstrap" true (since <= 0.1)
   | None -> Alcotest.fail "pred untracked");
   (* The same address with a fresh identity restarts the clock. *)
   let fresh = Peer.make ~id:(World.fresh_id w) ~addr:pred.Peer.addr in
-  World.update_preds w node (fresh :: List.tl (Rtable.preds node.World.rt));
+  World.update_preds w node (fresh :: List.tl (Rtable.preds (World.rt node)));
   (match World.pred_known_since node fresh with
   | Some since -> Alcotest.(check bool) "clock restarted" true (since >= 19.9)
   | None -> Alcotest.fail "fresh identity untracked");
@@ -722,7 +722,7 @@ let test_msg_sizes_positive () =
 let test_bounds_gap_uses_both_sides () =
   let _, w, _ = make_world ~n:200 ~seed:34 () in
   let node = World.node w 0 in
-  let gap = Octo_chord.Bounds.estimated_gap node.World.rt in
+  let gap = Octo_chord.Bounds.estimated_gap (World.rt node) in
   let true_gap = float_of_int (Id.size w.World.space) /. 200.0 in
   Alcotest.(check bool)
     (Printf.sprintf "estimate %.3e within 3x of %.3e" gap true_gap)

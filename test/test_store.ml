@@ -54,14 +54,14 @@ let test_store_value_at_owner_and_replicas () =
   Engine.run engine ~until:30.0;
   let owner = Option.get (World.find_owner w ~key) in
   let holder = World.node w owner.Peer.addr in
-  Alcotest.(check bool) "owner holds it" true (Hashtbl.mem holder.World.storage key);
+  Alcotest.(check bool) "owner holds it" true (World.Imap.mem holder.World.storage key);
   let replicas =
-    List.filteri (fun i _ -> i < 2) (Octo_chord.Rtable.succs holder.World.rt)
+    List.filteri (fun i _ -> i < 2) (Octo_chord.Rtable.succs (World.rt holder))
   in
   List.iter
     (fun (r : Peer.t) ->
       Alcotest.(check bool) "replica holds it" true
-        (Hashtbl.mem (World.node w r.Peer.addr).World.storage key))
+        (World.Imap.mem (World.node w r.Peer.addr).World.storage key))
     replicas
 
 let test_store_survives_owner_death () =
@@ -100,7 +100,7 @@ let test_circuit_build_and_send () =
     List.iter
       (fun (s : World.relay) ->
         Alcotest.(check bool) "session installed" true
-          (Hashtbl.mem (World.node w s.World.r_peer.Peer.addr).World.sessions s.World.r_sid))
+          (World.Imap.mem (World.node w s.World.r_peer.Peer.addr).World.sessions s.World.r_sid))
       c.Circuits.sessions;
     let payload = Bytes.of_string "through the circuit" in
     let echoed = ref None in

@@ -230,6 +230,25 @@ let test_different_seed_diverges () =
   let b = rendered (scenario ~seed:6 ()) in
   Alcotest.(check bool) "different streams" true (a <> b)
 
+(* Lazy routing-table materialization is a pure memory optimization: a
+   thunked table replays exactly what the eager bootstrap would have
+   built, draws no randomness, and emits no trace events — so the same
+   seed must produce a byte-identical event stream either way. *)
+let eager_lazy_rendered ~eager () =
+  with_trace ~capacity:(1 lsl 18) (fun t ->
+      let cfg = { Octopus.Config.default with Octopus.Config.eager_tables = eager } in
+      let spec = Octo_experiments.Scenario.make ~seed:5 ~cfg ~n:64 ~duration:90.0 () in
+      ignore (Octo_experiments.Scenario.run spec);
+      List.map Trace.to_json (Trace.events t))
+
+let test_eager_lazy_tables_identical () =
+  let lazy_run = eager_lazy_rendered ~eager:false () in
+  let eager_run = eager_lazy_rendered ~eager:true () in
+  Alcotest.(check int) "same length" (List.length lazy_run) (List.length eager_run);
+  List.iter2
+    (fun x y -> if x <> y then Alcotest.failf "diverged: %s vs %s" x y)
+    lazy_run eager_run
+
 (* Retry/backoff scheduling must be part of the deterministic record:
    identical seeds reproduce the jittered retry timeline byte-for-byte,
    and a different jitter stream diverges. *)
@@ -303,6 +322,8 @@ let () =
         [
           Alcotest.test_case "same seed same trace" `Quick test_same_seed_same_trace;
           Alcotest.test_case "different seed diverges" `Quick test_different_seed_diverges;
+          Alcotest.test_case "eager vs lazy tables identical" `Quick
+            test_eager_lazy_tables_identical;
           Alcotest.test_case "retry schedule deterministic" `Quick
             test_retry_schedule_deterministic;
         ] );

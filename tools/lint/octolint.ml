@@ -27,6 +27,10 @@
      D5 no-stdout-in-lib  [print_*]/[Printf.printf]/[Format.printf] in
                           lib/ — output goes through Trace/Metrics/Report
      D6 mli-required      every lib/**/*.ml needs a sibling .mli
+     D7 compact-node-state [Hashtbl.create] in lib/core and lib/chord —
+                          per-node hot state lives in Octo_sim.Imap;
+                          population-level singletons carry a named
+                          suppression
 
    A suppression comment covers diagnostics on its own line; when the
    comment sits alone on its line it also covers the next line, so
@@ -40,10 +44,12 @@
 (* Rules *)
 
 module Rule = struct
-  type t = D1 | D2 | D3 | D4 | D5 | D6
+  type t = D1 | D2 | D3 | D4 | D5 | D6 | D7
 
-  let all = [ D1; D2; D3; D4; D5; D6 ]
-  let code = function D1 -> "D1" | D2 -> "D2" | D3 -> "D3" | D4 -> "D4" | D5 -> "D5" | D6 -> "D6"
+  let all = [ D1; D2; D3; D4; D5; D6; D7 ]
+
+  let code = function
+    | D1 -> "D1" | D2 -> "D2" | D3 -> "D3" | D4 -> "D4" | D5 -> "D5" | D6 -> "D6" | D7 -> "D7"
 
   let slug = function
     | D1 -> "no-poly-compare"
@@ -52,6 +58,7 @@ module Rule = struct
     | D4 -> "no-raw-send"
     | D5 -> "no-stdout-in-lib"
     | D6 -> "mli-required"
+    | D7 -> "compact-node-state"
 
   let describe = function
     | D1 -> "polymorphic compare/min/max (and structural =) in lib/; use Int.compare etc."
@@ -60,6 +67,9 @@ module Rule = struct
     | D4 -> "raw Net/Network send in lib/core; protocol traffic uses Octo_sim.Rpc"
     | D5 -> "stdout from lib/; emit through Trace, Metrics or Report"
     | D6 -> "lib/ module without an interface file (.mli)"
+    | D7 ->
+      "Hashtbl.create in lib/core or lib/chord; per-node hot state uses Octo_sim.Imap \
+       (population-level singletons get a named suppression)"
 
   let of_string s =
     match String.lowercase_ascii s with
@@ -69,6 +79,7 @@ module Rule = struct
     | "d4" | "no-raw-send" -> Some D4
     | "d5" | "no-stdout-in-lib" -> Some D5
     | "d6" | "mli-required" -> Some D6
+    | "d7" | "compact-node-state" -> Some D7
     | _ -> None
 
   let compare_rule a b = String.compare (code a) (code b)
@@ -257,11 +268,15 @@ end
 (* ------------------------------------------------------------------ *)
 (* Path scoping *)
 
-type scope = { in_lib : bool; in_core : bool }
+type scope = { in_lib : bool; in_core : bool; in_node_state : bool }
 
 let scope_of_path p =
   let starts prefix = String.length p >= String.length prefix && String.sub p 0 (String.length prefix) = prefix in
-  { in_lib = starts "lib/"; in_core = starts "lib/core/" }
+  { in_lib = starts "lib/";
+    in_core = starts "lib/core/";
+    (* The layers holding per-node protocol state, where an unshared
+       Hashtbl per node is a population-scale memory bug. *)
+    in_node_state = starts "lib/core/" || starts "lib/chord/" }
 
 (* ------------------------------------------------------------------ *)
 (* The AST pass *)
@@ -322,6 +337,10 @@ let lint_file ~path ~scope_path ~src structure =
     | [ "Hashtbl"; ("iter" | "fold") ] when scope.in_lib ->
       add ~loc Rule.D3
         "Hashtbl traversal is bucket-ordered; use Octo_sim.Tbl.iter_sorted/fold_sorted"
+    | [ "Hashtbl"; "create" ] when scope.in_node_state ->
+      add ~loc Rule.D7
+        "per-node hot state belongs in Octo_sim.Imap (compact, deterministic iteration); \
+         population-level tables need a named '(* octolint: allow compact-node-state ... *)'"
     | [ ("Net" | "Network"); "send" ] when scope.in_core ->
       add ~loc Rule.D4 "raw send bypasses the Rpc substrate; use Rpc.call or Deployment.send"
     | ([ "Printf"; "printf" ] | [ "Format"; "printf" ]) when scope.in_lib ->
