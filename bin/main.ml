@@ -223,10 +223,10 @@ let trace_cmd =
           exit 2)
     in
     if misroute then
-      Octopus.Olookup.test_misroute :=
-        Some (fun (peer : Octopus.Olookup.Peer.t) -> { peer with Octopus.Olookup.Peer.id = peer.Octopus.Olookup.Peer.id + 1 });
+      Octopus.Olookup.set_test_misroute
+        (Some (fun (peer : Octopus.Olookup.Peer.t) -> { peer with Octopus.Olookup.Peer.id = peer.Octopus.Olookup.Peer.id + 1 }));
     let r = Tracecheck.run ~n ~duration ~seed () in
-    Octopus.Olookup.test_misroute := None;
+    Octopus.Olookup.set_test_misroute None;
     Printf.printf "trace: %d events captured (%d retained), %d lookups (%d converged)\n"
       (Octo_sim.Trace.seen r.Tracecheck.trace)
       (List.length (Octo_sim.Trace.events r.Tracecheck.trace))

@@ -7,8 +7,14 @@ module Imap = Octo_sim.Imap
 
 (* Test-only fault injection: when set, rewrites the owner a converged
    lookup reports, so the invariant checker's convergence check can be
-   exercised against a known-bad run. Never set outside tests. *)
+   exercised against a known-bad run. Never set outside tests. The ref is
+   private — callers go through [set_test_misroute] — so the mutable cell
+   itself never leaks into the public API. *)
+(* octolint: allow no-shared-mutable — test hook, written only from the
+   single-domain harness; multicore: Domain.DLS slot, or fold into World.t
+   when lookups shard. *)
 let test_misroute : (Peer.t -> Peer.t) option ref = ref None
+let set_test_misroute f = test_misroute := f
 
 type result = {
   owner : Peer.t option;

@@ -28,8 +28,9 @@ type result = {
 val anonymous : World.t -> World.node -> key:int -> (result -> unit) -> unit
 val direct : World.t -> World.node -> key:int -> (result -> unit) -> unit
 
-val test_misroute : (Peer.t -> Peer.t) option ref
-(** Test-only fault injection: rewrites the owner a converged lookup
-    reports (before the [Lookup_done] trace event), so the invariant
-    checker can be exercised against a known-bad run. Reset to [None]
-    after use; never set outside tests. *)
+val set_test_misroute : (Peer.t -> Peer.t) option -> unit
+(** Test-only fault injection: when set, rewrites the owner a converged
+    lookup reports (before the [Lookup_done] trace event), so the
+    invariant checker can be exercised against a known-bad run. Reset
+    with [None] after use; never set outside tests. The underlying cell
+    is private so no caller can alias the mutable state. *)

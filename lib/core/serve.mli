@@ -11,9 +11,6 @@
 val install : World.t -> unit
 (** Register the dispatch handler for every node address. *)
 
-val dispatch : World.t -> int -> Types.msg Octo_sim.Net.envelope -> unit
-(** Exposed for tests. *)
-
 val arm_receipt_watch : World.t -> World.node -> cid:int -> next:Types.Peer.t -> fwd:Types.msg -> unit
 (** After sending [fwd] to [next], wait for its receipt; on silence, run the
     witness protocol and retain the signed outcome as evidence. Used by

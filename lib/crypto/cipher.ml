@@ -14,7 +14,12 @@ let keystream_block ~key ~nonce counter =
 (* Scratch for the allocation-free path: the HMAC input (nonce ‖ counter)
    and one 32-byte keystream block. Single-threaded reuse, same as the
    scratch contexts in Sha256/Hmac. *)
+(* octolint: allow no-shared-mutable — single-domain scratch; multicore:
+   Domain.DLS pair, nothing escapes a call. *)
 let ctr_msg = Bytes.create (nonce_size + 8)
+
+(* octolint: allow no-shared-mutable — paired with [ctr_msg]; same
+   Domain.DLS disposition. *)
 let ks_block = Bytes.create 32
 
 let xor_in_place ~key ~nonce_src ~nonce_off buf ~off ~len =

@@ -16,6 +16,9 @@ let xor_pad key byte =
    later caller-side mutation cannot corrupt the table. *)
 type keyed = { inner : Sha256.state; outer : Sha256.state }
 
+(* octolint: allow no-shared-mutable — process-wide key-schedule memo;
+   multicore: one cache per domain via Domain.DLS (misses only re-derive,
+   so per-domain caches stay trace-identical). *)
 let cache : (bytes, keyed) Hashtbl.t = Hashtbl.create 256
 let cache_cap = 8192
 
@@ -37,7 +40,12 @@ let keyed_of key =
 
 (* Module-level scratch; single-threaded, and nothing below re-enters this
    module while the scratch is live. *)
+(* octolint: allow no-shared-mutable — single-domain scratch; multicore:
+   Domain.DLS per-domain scratch pair, no observable state. *)
 let scratch = Sha256.init ()
+
+(* octolint: allow no-shared-mutable — paired with [scratch] above; same
+   Domain.DLS disposition. *)
 let inner_digest = Bytes.create 32
 
 let mac_into ~key msg out off =
@@ -63,6 +71,8 @@ let mac_string ~key s =
   Sha256.update scratch inner_digest;
   Sha256.finalize scratch
 
+(* octolint: allow no-shared-mutable — single-domain scratch; multicore:
+   Domain.DLS, same as [scratch]/[inner_digest]. *)
 let verify_scratch = Bytes.create 32
 
 let verify ~key msg ~tag =

@@ -4,6 +4,9 @@
 
 let mask32 = 0xFFFFFFFF
 
+(* octolint: allow no-shared-mutable — SHA-256 round constants, written
+   never; arrays are flagged because the type can't promise that, but this
+   one is safe to share across domains read-only. *)
 let k =
   [|
     0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;

@@ -17,6 +17,8 @@ let onion_wrapped ~layers payload = payload + (layers * (onion_layer + 6))
 
 (* Shared context: digests are one-shot and the simulator is
    single-threaded, so no per-call ctx allocation. *)
+(* octolint: allow no-shared-mutable — single-domain digest scratch;
+   multicore: Domain.DLS context, digests are one-shot per call. *)
 let digest_ctx = Sha256.init ()
 
 let digest_parts parts =

@@ -5,6 +5,9 @@ type curve = { label : string; points : point list }
 
 let default_fs = [ 0.05; 0.1; 0.15; 0.2 ]
 
+(* octolint: allow no-shared-mutable — memo of analytically-derived ring
+   models keyed by (n, f, seed); multicore: per-domain memo via
+   Domain.DLS, recomputation is pure. *)
 let model_cache : (int * int * int, Ring_model.t) Hashtbl.t = Hashtbl.create 8
 
 let model ~n ~f ~seed =

@@ -40,10 +40,6 @@ let find_opt t key =
   let i = find_slot t key in
   if i >= 0 then Some (Array.unsafe_get t.vals i) else None
 
-let find t key =
-  let i = find_slot t key in
-  if i >= 0 then Array.unsafe_get t.vals i else raise Not_found
-
 let first t =
   if t.len = 0 then None else Some (Array.unsafe_get t.keys 0, Array.unsafe_get t.vals 0)
 

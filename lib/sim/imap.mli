@@ -19,9 +19,6 @@ val is_empty : 'a t -> bool
 val mem : 'a t -> int -> bool
 val find_opt : 'a t -> int -> 'a option
 
-val find : 'a t -> int -> 'a
-(** @raise Not_found when the key is absent. *)
-
 val first : 'a t -> (int * 'a) option
 (** The binding with the smallest key. *)
 

@@ -62,6 +62,9 @@ type t = {
    deterministic, so the cost of tracing when disabled must be exactly one
    load and branch at each emission site — no sink threading through every
    constructor in the stack. *)
+(* octolint: allow no-shared-mutable — the one deliberate global in sim;
+   multicore: per-domain sinks (Domain.DLS) merged by sequence number at
+   collection, per the ROADMAP item 2 plan. *)
 let current : t option ref = ref None
 
 let create ?(capacity = 65_536) () =
@@ -69,7 +72,6 @@ let create ?(capacity = 65_536) () =
 
 let install t = current := Some t
 let uninstall () = current := None
-let active () = !current
 let on () = !current <> None
 
 let subscribe t f = t.subscribers <- f :: t.subscribers

@@ -96,7 +96,6 @@ val install : t -> unit
 (** Make [t] the process-global sink. *)
 
 val uninstall : unit -> unit
-val active : unit -> t option
 
 val on : unit -> bool
 (** Fast guard for emission sites: [if Trace.on () then Trace.emit ...]. *)

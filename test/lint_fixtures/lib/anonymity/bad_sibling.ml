@@ -1,0 +1,3 @@
+(* L1 fixture: equal-rank siblings must not reference each other. *)
+
+let borrow () = Octo_baselines.Chord_walk.estimate 3

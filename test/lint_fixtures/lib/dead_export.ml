@@ -1,0 +1,4 @@
+(* X1 fixture: one export with a caller, one without. *)
+
+let used_fn x = x + 1
+let dead_fn x = x - 1

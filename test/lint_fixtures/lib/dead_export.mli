@@ -1,0 +1,2 @@
+val used_fn : int -> int
+val dead_fn : int -> int

@@ -1,0 +1,4 @@
+(* L1 negative fixture: experiments may reach down the whole stack. *)
+
+let down seed = Octo_sim.Rng.create ~seed
+let proto w = Octopus.Deployment.n_nodes w

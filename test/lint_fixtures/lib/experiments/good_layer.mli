@@ -1,0 +1,1 @@
+(* Present so rule D6 stays quiet for this fixture. *)

@@ -1,0 +1,9 @@
+(* D8 fixtures: escaping vs module-private toplevel mutable state. *)
+
+let shared_total : int ref = ref 0
+
+let hits = Array.make 4 0
+let bump i = hits.(i) <- hits.(i) + 1
+
+let hidden_scratch : (int, int) Hashtbl.t = Hashtbl.create 8
+let _warm () = Hashtbl.replace hidden_scratch 0 0

@@ -1,0 +1,2 @@
+val shared_total : int ref
+val bump : int -> unit

@@ -1,0 +1,4 @@
+(* L1 fixture: the substrate reaching up into protocol and experiments. *)
+
+let send_up w = Octopus.Deployment.send w 0 1
+let run_exp () = Octo_experiments.Workload.run ()

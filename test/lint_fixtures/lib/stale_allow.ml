@@ -1,0 +1,7 @@
+(* S1 fixtures: a live allowance and a stale one. *)
+
+(* octolint: allow no-wallclock-rng — live: it suppresses the line below *)
+let jitter () = Random.int 3
+
+(* octolint: allow ordered-iteration — stale: nothing here iterates *)
+let quiet = 42

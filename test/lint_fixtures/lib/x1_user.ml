@@ -1,0 +1,3 @@
+(* X1 fixture companion: marks Dead_export.used_fn as referenced. *)
+
+let call x = Dead_export.used_fn x

@@ -198,9 +198,9 @@ let test_scenario_with_revocation () =
   Alcotest.(check string) "revocation run clean" "" (Format.flush_str_formatter ())
 
 let test_injected_misroute_caught () =
-  Octopus.Olookup.test_misroute :=
-    Some (fun (p : Peer.t) -> { p with Peer.id = p.Peer.id + 1 });
-  let r = Fun.protect ~finally:(fun () -> Octopus.Olookup.test_misroute := None) scenario in
+  Octopus.Olookup.set_test_misroute
+    (Some (fun (p : Peer.t) -> { p with Peer.id = p.Peer.id + 1 }));
+  let r = Fun.protect ~finally:(fun () -> Octopus.Olookup.set_test_misroute None) scenario in
   let chk = r.Octo_experiments.Tracecheck.checker in
   let vs = Octopus.Invariant.violations chk in
   Alcotest.(check bool) "violations reported" true (vs <> []);

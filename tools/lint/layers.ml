@@ -1,0 +1,59 @@
+(* The declared layer order for the Octopus tree, used by octolint's L1
+   layering-graph rule (and printed as DOT via [--emit-graph]).
+
+   PR 3 established the layering by convention; dune's library graph
+   enforces the coarse acyclicity but not the *direction* we promised in
+   DESIGN.md, and says nothing about a future edge that happens to be
+   acyclic yet still wrong (say, lib/chord reaching into lib/core). This
+   table is the single place the promise is written down executably:
+
+       rank 0   lib/sim          deterministic simulation substrate
+       rank 1   lib/crypto       hashes, MACs, onions (uses sim RNG only)
+       rank 2   lib/chord        plain Chord: ids, routing, stabilize
+       rank 3   lib/core         Octopus protocol + Deployment runtime
+       rank 4   lib/anonymity    attack/entropy models   (sibling of
+       rank 4   lib/baselines    comparison lookups       each other)
+       rank 5   lib/experiments  figures, scenarios, workloads
+       rank 9   bin bench test examples tools   harnesses (top)
+
+   A reference from directory A to directory B is legal iff
+   [rank A > rank B]; equal-rank references across *different*
+   directories (lib/anonymity <-> lib/baselines) are violations, which
+   keeps the two rank-4 siblings independently liftable onto domains.
+   Directories not listed here (fixture corpora, future scratch dirs)
+   are unconstrained. *)
+
+type layer = { dir : string; namespace : string option; rank : int }
+
+let table =
+  [ { dir = "lib/sim"; namespace = Some "Octo_sim"; rank = 0 };
+    { dir = "lib/crypto"; namespace = Some "Octo_crypto"; rank = 1 };
+    { dir = "lib/chord"; namespace = Some "Octo_chord"; rank = 2 };
+    { dir = "lib/core"; namespace = Some "Octopus"; rank = 3 };
+    { dir = "lib/anonymity"; namespace = Some "Octo_anonymity"; rank = 4 };
+    { dir = "lib/baselines"; namespace = Some "Octo_baselines"; rank = 4 };
+    { dir = "lib/experiments"; namespace = Some "Octo_experiments"; rank = 5 };
+    { dir = "bin"; namespace = None; rank = 9 };
+    { dir = "bench"; namespace = None; rank = 9 };
+    { dir = "test"; namespace = None; rank = 9 };
+    { dir = "examples"; namespace = None; rank = 9 };
+    { dir = "tools"; namespace = None; rank = 9 };
+  ]
+
+let rank_of_dir d =
+  List.find_map (fun l -> if l.dir = d then Some l.rank else None) table
+
+(* "Octo_sim" -> Some "lib/sim": the wrapped-library namespace module each
+   dune library exposes, which is how cross-directory references spell
+   themselves in source. *)
+let dir_of_namespace ns =
+  List.find_map (fun l -> if l.namespace = Some ns then Some l.dir else None) table
+
+(* A cross-directory reference src -> dst is allowed iff src sits strictly
+   above dst in the declared order. Unranked directories are harnesses or
+   fixture corpora and are unconstrained on the src side; an unranked dst
+   cannot be resolved to a library in the first place. *)
+let allowed ~src ~dst =
+  match (rank_of_dir src, rank_of_dir dst) with
+  | Some rs, Some rd -> rs > rd
+  | None, _ | _, None -> true
