@@ -189,6 +189,32 @@ let kernels =
                  ~regime:Octo_experiments.Workload.Steady ()
              in
              assert (r.Octo_experiments.Workload.completed > 0)));
+      (* Sybil admission defense: the CA's certificate-request judge on
+         its steady-state path — token-bucket limiter armed vs. open
+         admission. Requests name an already-taken identifier so the
+         world's id table stays bounded across iterations; the refusal
+         path is exactly what a flooding attacker saturates. *)
+      Test.make ~name:"attack/sybil-admission"
+        (let engine = Octo_sim.Engine.create ~seed:14 () in
+         let lat =
+           Octo_sim.Latency.create (Octo_sim.Rng.split (Octo_sim.Engine.rng engine)) ~n:33
+         in
+         let cfg = { Octopus.Config.default with Octopus.Config.ca_admission = true } in
+         let w = Octopus.World.create ~cfg engine lat ~n:32 in
+         let ca = Octopus.Ca.create w in
+         let taken = (Octopus.World.node w 0).Octopus.World.peer.Octo_chord.Peer.id in
+         Staged.stage (fun () ->
+             ignore (Octopus.Ca.request_admission ca ~source:1 ~requested_id:taken)));
+      Test.make ~name:"attack/sybil-admission-open"
+        (let engine = Octo_sim.Engine.create ~seed:15 () in
+         let lat =
+           Octo_sim.Latency.create (Octo_sim.Rng.split (Octo_sim.Engine.rng engine)) ~n:33
+         in
+         let w = Octopus.World.create engine lat ~n:32 in
+         let ca = Octopus.Ca.create w in
+         let taken = (Octopus.World.node w 0).Octopus.World.peer.Octo_chord.Peer.id in
+         Staged.stage (fun () ->
+             ignore (Octopus.Ca.request_admission ca ~source:1 ~requested_id:taken)));
       (* Crypto substrate reference point. *)
       Test.make ~name:"substrate/sha256-1KiB"
         (let buf = Bytes.create 1024 in

@@ -333,6 +333,107 @@ let chaos_cmd =
     Term.(const run $ regimes $ n $ duration $ seed $ trace_file $ check)
 
 (* ------------------------------------------------------------------ *)
+(* attack: active-adversary campaigns *)
+
+let attack_cmd =
+  let run regimes n duration seed cache trace_file check =
+    if n < 16 then begin
+      prerr_endline "octopus-repro: attack needs -n >= 16 (colluder group sizing)";
+      exit 2
+    end;
+    let regimes = if regimes = [] then Attack_exp.all_regimes else regimes in
+    let many = List.length regimes > 1 in
+    let failed = ref false in
+    List.iter
+      (fun regime ->
+        let name = Attack_exp.regime_name regime in
+        let r = Attack_exp.run ~n ~duration ~seed ~cache ~regime () in
+        let rate = Attack_exp.success_rate r in
+        let floor = Attack_exp.threshold regime in
+        Printf.printf "attack %-11s lookups %3d/%3d ok (%.0f%%, floor %.0f%%)\n" name
+          r.Attack_exp.lookups_converged r.Attack_exp.lookups_done (100. *. rate)
+          (100. *. floor);
+        (match regime with
+        | Attack_exp.Sybil_flood ->
+          Printf.printf
+            "attack %-11s admissions %d/%d granted (cap %d), refused %d\n" name
+            r.Attack_exp.sybils_admitted r.Attack_exp.sybil_requests r.Attack_exp.sybil_cap
+            r.Attack_exp.sybil_refused;
+          List.iter
+            (fun (c : Attack_exp.cost_point) ->
+              Printf.printf
+                "attack %-11s cost %-16s requests %6d admitted %6d owned %d/%d %s\n" name
+                c.Attack_exp.c_label c.Attack_exp.c_requests c.Attack_exp.c_admitted
+                c.Attack_exp.c_owned
+                Octopus.Config.default.Octopus.Config.list_size
+                (if c.Attack_exp.c_success then "ECLIPSED" else "held"))
+            r.Attack_exp.cost_curve;
+          Printf.printf "attack %-11s id-assignment raises eclipse cost %.0fx\n" name
+            (Attack_exp.cost_factor r.Attack_exp.cost_curve)
+        | Attack_exp.Eclipse ->
+          Printf.printf
+            "attack %-11s eclipsed peak %d, revocations %d, cache flushes %d\n" name
+            r.Attack_exp.eclipsed_peak r.Attack_exp.revocations r.Attack_exp.cache_flushes
+        | Attack_exp.Churn_range ->
+          Printf.printf
+            "attack %-11s estimator fresh %d/%d hit, stale %d/%d hit\n" name
+            r.Attack_exp.fresh_hits r.Attack_exp.fresh_total r.Attack_exp.stale_hits
+            r.Attack_exp.stale_total);
+        (match trace_file with
+        | Some path ->
+          (* One file per regime when several run in one invocation. *)
+          let path = if many then path ^ "." ^ name else path in
+          (try
+             let oc = open_out path in
+             Octo_sim.Trace.dump_jsonl r.Attack_exp.trace oc;
+             close_out oc;
+             Printf.printf "attack %-11s trace written to %s\n" name path
+           with Sys_error e ->
+             Printf.eprintf "octopus-repro: cannot write trace file: %s\n" e;
+             exit 2)
+        | None -> ());
+        if not (Attack_exp.passed r) then begin
+          Printf.printf "attack %-11s FAILED: below the documented floor\n" name;
+          failed := true
+        end;
+        if check then begin
+          Octopus.Invariant.report r.Attack_exp.checker Format.std_formatter;
+          if not (Octopus.Invariant.ok r.Attack_exp.checker) then failed := true
+        end)
+      regimes;
+    if !failed then exit 1
+  in
+  let regimes =
+    let names = List.map (fun r -> (Attack_exp.regime_name r, r)) Attack_exp.all_regimes in
+    Arg.(value & pos_all (enum names) [] & info [] ~docv:"REGIME"
+           ~doc:"Attack regimes to run (default: all).")
+  in
+  let n = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Network size.") in
+  let duration = Arg.(value & opt float 240.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let cache =
+    Arg.(value & flag & info [ "cache" ]
+           ~doc:"Enable the hot-key result cache during the eclipse regime \
+                 (conviction-driven revocations must flush it).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write each regime's event stream as JSON Lines; with several \
+                 regimes in one invocation the regime name is appended to $(docv).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check-invariants" ]
+           ~doc:"Run the online invariant checker (including post-campaign \
+                 convergence and the eclipse watch); exit 1 on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Lookup workload under active adversaries: Sybil identifier flooding \
+             against the CA's admission defense, eclipse timed with partition \
+             heals, and range estimation under churn")
+    Term.(const run $ regimes $ n $ duration $ seed $ cache $ trace_file $ check)
+
+(* ------------------------------------------------------------------ *)
 (* load: open-loop heavy-traffic workload *)
 
 let load_cmd =
@@ -516,4 +617,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "octopus-repro" ~doc)
           [ security_cmd; anonymity_cmd; timing_cmd; efficiency_cmd; ablation_cmd; trace_cmd;
-            chaos_cmd; load_cmd; scale_cmd; all_cmd ]))
+            chaos_cmd; attack_cmd; load_cmd; scale_cmd; all_cmd ]))

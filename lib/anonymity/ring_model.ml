@@ -41,6 +41,20 @@ let create ?bits ?num_fingers ?(list_size = 6) ~n ~f ~seed () =
   let num_fingers = Option.value ~default:bits num_fingers in
   { n; f; space; ids; mal; num_fingers; list_size; rng }
 
+(* A model over a *given* membership instead of a sampled one: the
+   adversary's calibrated snapshot of a live ring (churn-range attack).
+   No ids are drawn, so the rng only serves the random_* helpers. *)
+let of_ids ?bits ?num_fingers ?(list_size = 6) ~ids ~seed () =
+  let bits = Option.value ~default:40 bits in
+  let space = Id.space ~bits in
+  let rng = Rng.create ~seed in
+  let ids = Array.copy ids in
+  Array.sort Int.compare ids;
+  let n = Array.length ids in
+  let mal = Array.make n false in
+  let num_fingers = Option.value ~default:bits num_fingers in
+  { n; f = 0.0; space; ids; mal; num_fingers; list_size; rng }
+
 (* First rank whose id is >= key, wrapping. *)
 let owner_rank t ~key =
   let lo = ref 0 and hi = ref (t.n - 1) and res = ref None in

@@ -15,6 +15,13 @@ val create :
 (** [num_fingers] defaults to one per id bit (the classic Chord table,
     appropriate at this scale). Malicious flags are i.i.d. with rate [f]. *)
 
+val of_ids :
+  ?bits:int -> ?num_fingers:int -> ?list_size:int -> ids:int array -> seed:int -> unit -> t
+(** A model over a given membership (copied, then sorted) instead of a
+    sampled one — the adversary's calibrated snapshot of a live ring in
+    the churn-timed range attack. All nodes are honest; [seed] only
+    feeds the [random_*] helpers. *)
+
 val n : t -> int
 val f : t -> float
 val space : t -> Octo_chord.Id.space

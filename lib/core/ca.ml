@@ -5,11 +5,109 @@ module Series = Octo_sim.Metrics.Series
 module Cert = Octo_crypto.Cert
 module Trace = Octo_sim.Trace
 
-type t = { w : World.t; mutable received : int; strikes : (int, int) Hashtbl.t }
+(* Per-source certificate-admission state: a token bucket plus the
+   source's cumulative admission spend (every request costs one unit,
+   granted or not — the accounting side of the Sybil cost curve). *)
+type bucket = { mutable tokens : float; mutable last : float; mutable cost : int }
+
+type t = {
+  w : World.t;
+  mutable received : int;
+  strikes : (int, int) Hashtbl.t;
+  buckets : (int, bucket) Hashtbl.t;
+  mutable admitted : int;
+  mutable refused : int;
+}
 
 type outcome = Convicted of int list | Nothing
 
+type admission =
+  | Admitted of { id : int }
+  | Refused_rate_limited
+  | Refused_revoked
+  | Refused_id_taken
+
 let messages_received t = t.received
+let admitted t = t.admitted
+let refused t = t.refused
+
+let admission_cost t source =
+  match Hashtbl.find_opt t.buckets source with None -> 0 | Some b -> b.cost
+
+(* ------------------------------------------------------------------ *)
+(* Certificate admission (Sybil flooding defense) *)
+
+let bucket_for t source =
+  match Hashtbl.find_opt t.buckets source with
+  | Some b -> b
+  | None ->
+    let b =
+      { tokens = float_of_int t.w.World.cfg.Config.ca_admission_burst;
+        last = World.now t.w; cost = 0 }
+    in
+    Hashtbl.add t.buckets source b;
+    b
+
+(* Judge one certificate request from [source]. Never invoked by the
+   protocol's own machinery — only attack scenarios (and their tests) call
+   it, so ordinary runs leave the limiter state untouched and traces
+   byte-identical to defenseless builds. Refusals draw no randomness, so
+   the grant/refusal sequence under a fixed schedule is deterministic. *)
+let request_admission t ~source ~requested_id =
+  let w = t.w in
+  let cfg = w.World.cfg in
+  let b = bucket_for t source in
+  b.cost <- b.cost + 1;
+  let judge granted =
+    if granted then t.admitted <- t.admitted + 1 else t.refused <- t.refused + 1;
+    if Trace.on () then
+      Trace.emit ~time:(World.now w) ~node:w.World.ca_addr
+        (Trace.Ca_admission { source; granted; cost = b.cost })
+  in
+  if (World.node w source).World.revoked then begin
+    (* Revocation is an admission ban, not just an ejection: a convicted
+       node cannot buy its way back in under a fresh identifier. *)
+    judge false;
+    Refused_revoked
+  end
+  else begin
+    let pass =
+      (not cfg.Config.ca_admission)
+      ||
+      let now = World.now w in
+      b.tokens <-
+        Float.min
+          (float_of_int cfg.Config.ca_admission_burst)
+          (b.tokens +. (cfg.Config.ca_admission_rate *. (now -. b.last)));
+      b.last <- now;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        true
+      end
+      else false
+    in
+    if not pass then begin
+      judge false;
+      Refused_rate_limited
+    end
+    else if cfg.Config.ca_assign_ids then begin
+      (* Placement defense: the CA draws the identifier, so crafted
+         surround-the-victim requests degrade to uniform sampling. The
+         world RNG is safe here — admission never runs in non-attack
+         configurations, and within a run the call schedule is fixed. *)
+      let id = World.fresh_id w in
+      judge true;
+      Admitted { id }
+    end
+    else if World.claim_id w requested_id then begin
+      judge true;
+      Admitted { id = requested_id }
+    end
+    else begin
+      judge false;
+      Refused_id_taken
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Shared helpers *)
@@ -626,8 +724,11 @@ let handle t (env : Types.msg Net.envelope) =
   | Types.Proofs_req _ | Types.Evidence_req _ | Types.Replicate _ | Types.Replicate_ack _ -> ()
 
 let create w =
-  (* octolint: allow compact-node-state — one strike table on the single
-     CA instance, not per-node state *)
-  let t = { w; received = 0; strikes = Hashtbl.create 32 } in
+  (* octolint: allow compact-node-state — strike and admission tables on
+     the single CA instance, not per-node state *)
+  let t =
+    { w; received = 0; strikes = Hashtbl.create 32; buckets = Hashtbl.create 32;
+      admitted = 0; refused = 0 }
+  in
   Net.register w.World.net w.World.ca_addr (handle t);
   t

@@ -29,6 +29,44 @@ val create : World.t -> t
 
 val messages_received : t -> int
 
+(** {1 Certificate admission (Sybil flooding defense)}
+
+    Joining the overlay requires a CA-issued certificate, which makes the
+    CA the natural Sybil choke point: it rate-limits certificate grants
+    per source with a token bucket ([ca_admission_burst] tokens, refilled
+    at [ca_admission_rate]/s) and accounts every request — granted or
+    refused — as one unit of admission cost, the currency of the Sybil
+    cost curve in EXPERIMENTS.md. With [ca_assign_ids] set it additionally
+    ignores the requested identifier and assigns a uniform random one, so
+    crafted surround-the-victim placements degrade to uniform sampling.
+    Revoked sources are refused outright: conviction is an admission ban.
+
+    The admission path is exercised only by attack scenarios; ordinary
+    runs never call it, so its state costs nothing and traces stay
+    byte-identical to defenseless builds. *)
+
+type admission =
+  | Admitted of { id : int }  (** granted; join via {!World.revive_as} *)
+  | Refused_rate_limited
+  | Refused_revoked
+  | Refused_id_taken  (** requested identifier already registered *)
+
+val request_admission : t -> source:int -> requested_id:int -> admission
+(** Judge one certificate request from node address [source] asking for
+    identifier [requested_id]. With [ca_admission] off the bucket is
+    bypassed (but revoked sources are still refused and identifiers still
+    deduplicated). Refusals draw no randomness. *)
+
+val admitted : t -> int
+(** Certificates granted through {!request_admission}. *)
+
+val refused : t -> int
+(** Admission requests refused (any reason). *)
+
+val admission_cost : t -> int -> int
+(** Cumulative admission spend of one source: one unit per request made,
+    granted or not. *)
+
 type outcome = Convicted of int list | Nothing
 
 val investigate_omission :

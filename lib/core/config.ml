@@ -74,6 +74,11 @@ type t = {
   result_cache_cap : int;
   (* population bootstrap *)
   eager_tables : bool;
+  (* CA admission defense (Sybil flooding) *)
+  ca_admission : bool;
+  ca_admission_rate : float;
+  ca_admission_burst : int;
+  ca_assign_ids : bool;
 }
 
 let default =
@@ -142,6 +147,10 @@ let default =
     result_cache_ttl = 30.0;
     result_cache_cap = 65536;
     eager_tables = false;
+    ca_admission = false;
+    ca_admission_rate = 0.25;
+    ca_admission_burst = 4;
+    ca_assign_ids = false;
   }
 
 let paper_security = default

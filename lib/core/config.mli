@@ -121,6 +121,24 @@ type t = {
           traces (the thunks replay the recorded boot topology exactly),
           so this exists for the equivalence test and for profiling the
           lazy path against the historical eager one *)
+  ca_admission : bool;
+      (** arm the CA's certificate-admission defense: per-source token-
+          bucket rate limiting plus admission-cost accounting
+          ({!Ca.request_admission}). Off by default — the admission path
+          is only exercised by attack scenarios, and disabled
+          configurations never touch the limiter state, so ordinary runs
+          stay byte-identical to defenseless builds *)
+  ca_admission_rate : float;
+      (** sustained certificate grants per second per source once its
+          burst allowance is spent *)
+  ca_admission_burst : int;
+      (** token-bucket depth: certificates a single source may obtain
+          back-to-back before the rate limit bites *)
+  ca_assign_ids : bool;
+      (** when set, the CA ignores the requested identifier and assigns a
+          uniform random one — the classic anti-Sybil placement defense
+          (an attacker can no longer craft identifiers surrounding a
+          victim key; see EXPERIMENTS.md "Active adversaries") *)
 }
 
 val default : t

@@ -450,10 +450,13 @@ let kill t addr =
      have to be launched and time out in turn; fail them now instead. *)
   Rpc.fail_queued t.rpc ~dst:addr
 
-let revive t addr =
+(* Re-enter the network under a *chosen* identity — the certificate-
+   admission path: the id has already been granted (and claimed in
+   [used_ids]) by the CA, so none is drawn here. [revive] is this with a
+   freshly drawn id; the draw order (id, then keypair) is unchanged. *)
+let revive_as t addr ~id =
   let n = t.nodes.(addr) in
   Imap.remove t.members n.peer.Peer.id;
-  let id = fresh_id t in
   let peer = Peer.make ~id ~addr in
   n.peer <- peer;
   (* A rejoining node starts from an empty table, so there is nothing to
@@ -468,6 +471,17 @@ let revive t addr =
   if not n.revoked then Imap.set t.members id peer;
   Node_state.reset_volatile n;
   Net.set_alive t.net addr true
+
+let revive t addr = revive_as t addr ~id:(fresh_id t)
+
+(* Register a caller-chosen identifier, refusing collisions — the
+   admission path's equivalent of [fresh_id]'s dedup loop. *)
+let claim_id t id =
+  if id < 0 || id >= Id.size t.space || Hashtbl.mem t.used_ids id then false
+  else begin
+    Hashtbl.add t.used_ids id ();
+    true
+  end
 
 let revoke t addr =
   let n = t.nodes.(addr) in
@@ -510,7 +524,23 @@ let result_cache t = t.rcache
 
 (* -- experiment-facing accessors ------------------------------------- *)
 
-let set_attack t spec = t.attack <- spec
+let attack_kind_name = function
+  | No_attack -> "none"
+  | Bias -> "bias"
+  | Finger_manip -> "finger"
+  | Pollution -> "pollution"
+  | Selective_dos -> "dos"
+
+(* The trace records campaign windows so the invariant checker can excuse
+   lookup convergence while an adversary is actively serving poison —
+   exactly as it does for fault windows. [on] is whether the *new* spec
+   arms an attack; installing [no_attack] closes the window. *)
+let set_attack t spec =
+  t.attack <- spec;
+  if Trace.on () then
+    Trace.emit ~time:(now t) ~node:(-1)
+      (Trace.Attack_phase
+         { kind = attack_kind_name spec.kind; on = spec.kind <> No_attack })
 
 let set_processing_delay t addr f = Net.set_processing_delay t.net addr f
 
@@ -651,7 +681,15 @@ let make_node t ~addr ~malicious =
 
 let bootstrap_topology t =
   let n = Array.length t.nodes in
-  let sorted = Array.map (fun node -> node.peer) t.nodes in
+  (* Reserved (not-yet-admitted) slots are dead at bootstrap and stay out
+     of the boot ring; their rank stays -1, so their thunks materialize
+     empty tables, exactly like a revived node's. *)
+  let sorted =
+    Array.of_list
+      (List.filter_map
+         (fun node -> if node.alive then Some node.peer else None)
+         (Array.to_list t.nodes))
+  in
   Array.sort (fun a b -> Int.compare a.Peer.id b.Peer.id) sorted;
   let rank = Array.make n (-1) in
   Array.iteri (fun i (p : Peer.t) -> rank.(p.Peer.addr) <- i) sorted;
@@ -673,7 +711,10 @@ let bootstrap_pools t =
       let mk_relay () =
         let rec pick () =
           let other = t.nodes.(Rng.int t.rng n) in
-          if other.addr = node.addr then pick () else other
+          (* Dead slots (reserved, unadmitted) can neither relay nor need
+             pools; with no reserve every slot is alive and the draw
+             sequence is exactly the historical one. *)
+          if other.addr = node.addr || not other.alive then pick () else other
         in
         let other = pick () in
         let sid = fresh_sid t in
@@ -681,14 +722,16 @@ let bootstrap_pools t =
         Imap.set other.sessions sid key;
         { r_peer = other.peer; r_sid = sid; r_key = key }
       in
-      node.pool <-
-        List.init t.cfg.Config.pool_target (fun _ ->
-            { p_first = mk_relay (); p_second = mk_relay (); p_born = 0.0 }))
+      if node.alive then
+        node.pool <-
+          List.init t.cfg.Config.pool_target (fun _ ->
+              { p_first = mk_relay (); p_second = mk_relay (); p_born = 0.0 }))
     t.nodes
 
 let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket = 20.0)
-    ?(pools = true) engine latency ~n =
-  assert (n + 1 <= Octo_sim.Latency.n latency);
+    ?(pools = true) ?(reserve = 0) engine latency ~n =
+  assert (reserve >= 0);
+  assert (n + reserve + 1 <= Octo_sim.Latency.n latency);
   let rng = Rng.split (Engine.rng engine) in
   let registry = Keys.create_registry () in
   let metrics =
@@ -713,7 +756,7 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
       net = Net.create engine latency;
       space = Id.space ~bits:cfg.Config.bits;
       nodes = [||];
-      ca_addr = n;
+      ca_addr = n + reserve;
       registry;
       authority = Cert.create_authority registry rng;
       (* [rng] is passed by reference, not split: jitter is only drawn on
@@ -741,15 +784,24 @@ let create ?(cfg = Config.default) ?(fraction_malicious = 0.0) ?(metrics_bucket 
       default_rpc_policy = make_rpc_policy cfg ();
     }
   in
-  (* Choose which slots are malicious uniformly. *)
-  let flags = Array.make n false in
+  (* Choose which slots are malicious uniformly (among the bootstrap
+     population only — reserved slots acquire their disposition when they
+     are admitted). *)
+  let flags = Array.make (n + reserve) false in
   let num_mal = int_of_float (Float.round (fraction_malicious *. float_of_int n)) in
   let perm = Rng.permutation rng n in
   for i = 0 to num_mal - 1 do
     flags.(perm.(i)) <- true
   done;
-  let nodes = Array.init n (fun addr -> make_node t ~addr ~malicious:flags.(addr)) in
+  let nodes = Array.init (n + reserve) (fun addr -> make_node t ~addr ~malicious:flags.(addr)) in
   let t = { t with nodes } in
+  (* Reserved slots start dead, outside the boot ring and member index:
+     address space held for identities the CA may admit mid-run (Sybil
+     campaigns, join storms). With [reserve = 0] this loop is empty and
+     construction is draw-for-draw the historical sequence. *)
+  for addr = n to n + reserve - 1 do
+    kill t addr
+  done;
   bootstrap_topology t;
   if pools then bootstrap_pools t;
   t

@@ -128,17 +128,23 @@ val create :
   ?fraction_malicious:float ->
   ?metrics_bucket:float ->
   ?pools:bool ->
+  ?reserve:int ->
   Octo_sim.Engine.t ->
   Octo_sim.Latency.t ->
   n:int ->
   t
 (** Build a bootstrapped network of [n] nodes (addresses [0..n-1]; the CA
-    listens on address [n], so the latency space must have [n+1] slots).
-    Topology, certificates, and an initial relay-pair pool are provisioned
-    from global knowledge, as for the Chord bootstrap. [pools:false] skips
-    the relay-pair provisioning (population-scale runs that never do
-    anonymous lookups; saves [2 * pool_target] sessions per node). No
-    handlers are installed — call {!Serve.install} and {!Ca.create}. *)
+    listens on address [n + reserve], so the latency space must have
+    [n + reserve + 1] slots). Topology, certificates, and an initial
+    relay-pair pool are provisioned from global knowledge, as for the
+    Chord bootstrap. [pools:false] skips the relay-pair provisioning
+    (population-scale runs that never do anonymous lookups; saves
+    [2 * pool_target] sessions per node). [reserve] (default 0) holds
+    extra address slots [n..n+reserve-1] that start dead and outside the
+    boot ring — identities the CA may admit mid-run ({!Ca.request_admission}
+    followed by {!revive_as}); with [reserve = 0] construction is
+    draw-for-draw the historical sequence. No handlers are installed —
+    call {!Serve.install} and {!Ca.create}. *)
 
 val now : t -> float
 val node : t -> int -> node
@@ -275,6 +281,16 @@ val kill : t -> int -> unit
 
 val revive : t -> int -> unit
 (** Rejoin with a fresh identity and certificate; routing state empty. *)
+
+val revive_as : t -> int -> id:int -> unit
+(** {!revive} under a *chosen* identifier — the activation half of the
+    certificate-admission path. The id must already be registered
+    (granted by {!Ca.request_admission}, or {!claim_id} directly in
+    tests); no randomness is drawn for it. *)
+
+val claim_id : t -> int -> bool
+(** Register a caller-chosen identifier in the population's id registry;
+    [false] if it is out of range or already taken. *)
 
 val revoke : t -> int -> unit
 (** Certificate revocation: the node is ejected and purged from every

@@ -185,6 +185,16 @@ let on_event t (ev : Trace.event) =
     if on then t.disturbances <- t.disturbances + 1
     else t.disturbances <- Int.max 0 (t.disturbances - 1);
     t.last_disturbance <- ev.Trace.time
+  (* An armed adversary campaign is a disturbance too: while colluders
+     actively serve poisoned tables, a lookup legitimately converges to
+     whatever the attacker answered — the paper's own bias-rate figures
+     measure exactly that — so global-truth convergence is only
+     enforceable once the window closes (plus grace). Every other
+     invariant (relay rules, byte budget, revoked reuse) stays live. *)
+  | Trace.Attack_phase { on; _ } ->
+    if on then t.disturbances <- t.disturbances + 1
+    else t.disturbances <- Int.max 0 (t.disturbances - 1);
+    t.last_disturbance <- ev.Trace.time
   | Trace.Fault_crash _ | Trace.Fault_recover _ -> t.last_disturbance <- ev.Trace.time
   (* Churn is a liveness disturbance too: a leave orphans its neighbors'
      pointers and a join is only visible once maintenance has run, so
@@ -233,6 +243,42 @@ let check_convergence t =
              p.Peer.addr)
     end
   done
+
+(* Eclipse watch: no honest node's successor list may consist entirely of
+   active colluders. A successor entry counts as a colluder only if it
+   names a malicious node's *current* identity and that node is alive and
+   unrevoked — stale entries for ejected or re-keyed identities cannot
+   serve an attacker. Only materialized tables are inspected: forcing a
+   thunk here would perturb the lazy-bootstrap replay the checker is
+   supposed to observe, and an untouched table still holds its honest boot
+   ring anyway. *)
+let check_eclipse ?(allowed = 0) t =
+  let w = t.w in
+  let n = World.n_nodes w in
+  let colluder (p : Peer.t) =
+    let other = World.node w p.Peer.addr in
+    other.World.malicious && other.World.alive && (not other.World.revoked)
+    && Peer.equal other.World.peer p
+  in
+  let eclipsed = ref 0 in
+  for a = 0 to n - 1 do
+    let node = World.node w a in
+    if
+      node.World.alive && (not node.World.revoked) && (not node.World.malicious)
+      && Lazy.is_val node.World.rt
+    then begin
+      let succs = Rtable.succs (World.rt node) in
+      if succs <> [] && List.for_all colluder succs then begin
+        incr eclipsed;
+        if !eclipsed > allowed then
+          flag t
+            (Printf.sprintf "node %d: successor list is 100%% colluders (%s)" a
+               (String.concat ","
+                  (List.map (fun (p : Peer.t) -> string_of_int p.Peer.addr) succs)))
+      end
+    end
+  done;
+  !eclipsed
 
 (* Invariant 3b, end-of-run: the stream's per-node byte accounting must
    reconcile with the Net counters — a mismatch means events were lost or

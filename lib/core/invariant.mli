@@ -17,11 +17,13 @@
       (checked at {!finish} via the deployment's watch-list counter).
 
     Fault awareness: while a partition/link/outage window is open (the
-    fault layer's [Fault_phase] events) or shortly after any disturbance
-    (crash/recover), the lookup-convergence check is excused — global
-    truth and the reachable ring legitimately disagree until the fault
-    heals and maintenance re-converges. {!check_convergence} then asserts
-    that re-convergence actually happened.
+    fault layer's [Fault_phase] events), an adversary campaign is armed
+    ([Attack_phase], emitted by [World.set_attack]), or shortly after any
+    disturbance (crash/recover), the lookup-convergence check is excused —
+    global truth and the reachable ring legitimately disagree until the
+    fault heals (or the attacker stops serving poison) and maintenance
+    re-converges. {!check_convergence} then asserts that re-convergence
+    actually happened.
 
     Typical use:
     {[
@@ -60,6 +62,14 @@ val check_convergence : t -> unit
     the alive unrevoked peer that actually follows it on the ring. Call
     once the network has settled after the last fault window (post-heal
     re-convergence); mismatches are recorded as violations. *)
+
+val check_eclipse : ?allowed:int -> t -> int
+(** Eclipse watch: count honest alive nodes whose materialized,
+    non-empty successor list consists {e entirely} of active colluders
+    (malicious, alive, unrevoked, current identity). Every eclipsed node
+    beyond [allowed] (default [0]) is flagged as a violation; the total
+    count is returned either way. Call at the same settle points as
+    {!check_convergence}. *)
 
 val ok : t -> bool
 val violations : t -> violation list

@@ -23,6 +23,7 @@ type spec = {
   lookups : bool;
   checks : bool;
   stragglers : bool;
+  reserve : int;
   on_init : (Octopus.World.t -> unit) list;  (* reversed *)
   on_ready : (Octopus.World.t -> unit) list;  (* reversed *)
   timed : (float * (Octopus.World.t -> unit)) list;  (* reversed *)
@@ -30,7 +31,7 @@ type spec = {
 
 let make ?(seed = 42) ?(cfg = Octopus.Config.default) ?(fraction_malicious = 0.0)
     ?metrics_bucket ?attack ?churn_mean ?(lookups = true) ?(checks = true)
-    ?(stragglers = false) ~n ~duration () =
+    ?(stragglers = false) ?(reserve = 0) ~n ~duration () =
   {
     n;
     duration;
@@ -43,6 +44,7 @@ let make ?(seed = 42) ?(cfg = Octopus.Config.default) ?(fraction_malicious = 0.0
     lookups;
     checks;
     stragglers;
+    reserve;
     on_init = [];
     on_ready = [];
     timed = [];
@@ -57,12 +59,14 @@ type t = {
   world : Octopus.World.t;
   spec : spec;
   fault : Octopus.Types.msg Octo_sim.Fault.t option;
+  ca : Octopus.Ca.t;
 }
 
 let engine t = t.engine
 let world t = t.world
 let duration t = t.spec.duration
 let fault t = t.fault
+let ca t = t.ca
 
 let add_net_stragglers net ~n ~seed =
   let rng = Rng.create ~seed:(seed + straggler_seed_offset) in
@@ -87,17 +91,19 @@ let add_stragglers w ~n ~seed =
 let build spec =
   let engine = Engine.create ~seed:spec.seed () in
   let lat_rng = Rng.split (Engine.rng engine) in
-  let latency = Latency.create lat_rng ~n:(spec.n + 1) in
+  (* [reserve] extra latency slots for CA-admitted identities; with the
+     default 0 the space is exactly the historical [n + 1]. *)
+  let latency = Latency.create lat_rng ~n:(spec.n + spec.reserve + 1) in
   let w =
     Octopus.World.create ~cfg:spec.cfg ~fraction_malicious:spec.fraction_malicious
-      ?metrics_bucket:spec.metrics_bucket engine latency ~n:spec.n
+      ?metrics_bucket:spec.metrics_bucket ~reserve:spec.reserve engine latency ~n:spec.n
   in
   Octopus.Serve.install w;
   (* A no-op (no hook, no RNG split) unless the config carries a fault
      plan, so default scenarios keep their historical traces. *)
   let fault = Octopus.Chaos.install w in
   if spec.stragglers then add_stragglers w ~n:spec.n ~seed:spec.seed;
-  let _ca = Octopus.Ca.create w in
+  let ca = Octopus.Ca.create w in
   Option.iter (Octopus.World.set_attack w) spec.attack;
   List.iter (fun f -> f w) (List.rev spec.on_init);
   Octopus.Maintain.start
@@ -112,7 +118,7 @@ let build spec =
   List.iter
     (fun (time, f) -> Octopus.World.after w ~delay:time (fun () -> f w))
     (List.rev spec.timed);
-  { engine; world = w; spec; fault }
+  { engine; world = w; spec; fault; ca }
 
 let run ?until spec =
   let t = build spec in

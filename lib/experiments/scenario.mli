@@ -31,6 +31,7 @@ val make :
   ?lookups:bool ->
   ?checks:bool ->
   ?stragglers:bool ->
+  ?reserve:int ->
   n:int ->
   duration:float ->
   unit ->
@@ -39,7 +40,11 @@ val make :
     attack, no churn, lookups and security checks enabled, no
     stragglers. [stragglers] marks 5% of nodes (from an RNG independent
     of the engine stream) as slow hosts adding exponential processing
-    delay, the PlanetLab realism knob used by the efficiency figures. *)
+    delay, the PlanetLab realism knob used by the efficiency figures.
+    [reserve] (default 0) adds that many address slots that start dead
+    and outside the boot ring — identities the CA may admit mid-run via
+    {!Octopus.Ca.request_admission} (the Sybil-flooding attack surface);
+    the CA then listens on address [n + reserve]. *)
 
 val on_init : spec -> (Octopus.World.t -> unit) -> spec
 (** Run a hook between CA/attack installation and [Maintain.start]. *)
@@ -68,6 +73,11 @@ val duration : t -> float
 val fault : t -> Octopus.Types.msg Octo_sim.Fault.t option
 (** The fault engine installed from the config's [fault_plan], if any —
     exposes the injection counters for chaos reports. *)
+
+val ca : t -> Octopus.Ca.t
+(** The certificate authority built for this world — attack scenarios
+    drive its admission path ({!Octopus.Ca.request_admission}) and read
+    its grant/refusal counters. *)
 
 val add_net_stragglers : 'm Octo_sim.Net.t -> n:int -> seed:int -> unit
 (** The same straggler model applied to a raw network — for the Chord

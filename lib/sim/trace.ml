@@ -38,10 +38,12 @@ type data =
   | Surveillance of { target : int; verdict : string }
   | Ca_report of { kind : string }
   | Ca_outcome of { convicted : int list }
+  | Ca_admission of { source : int; granted : bool; cost : int }
   | Revoked of { addr : int; id : int }
   | Churn_leave of { addr : int }
   | Churn_join of { addr : int }
   | Fault_phase of { fault : string; on : bool }
+  | Attack_phase of { kind : string; on : bool }
   | Fault_corrupt of { src : int; dst : int; size : int }
   | Fault_dup of { src : int; dst : int }
   | Fault_reorder of { src : int; dst : int; extra : float }
@@ -173,11 +175,17 @@ let data_fields = function
     ("surveillance", [ ("target", string_of_int target); ("verdict", "\"" ^ json_escape verdict ^ "\"") ])
   | Ca_report { kind } -> ("ca_report", [ ("kind", "\"" ^ json_escape kind ^ "\"") ])
   | Ca_outcome { convicted } -> ("ca_outcome", [ ("convicted", ints convicted) ])
+  | Ca_admission { source; granted; cost } ->
+    ( "ca_admission",
+      [ ("source", string_of_int source); ("granted", string_of_bool granted);
+        ("cost", string_of_int cost) ] )
   | Revoked { addr; id } -> ("revoked", [ ("addr", string_of_int addr); ("id", string_of_int id) ])
   | Churn_leave { addr } -> ("churn_leave", [ ("addr", string_of_int addr) ])
   | Churn_join { addr } -> ("churn_join", [ ("addr", string_of_int addr) ])
   | Fault_phase { fault; on } ->
     ("fault_phase", [ ("fault", "\"" ^ json_escape fault ^ "\""); ("on", string_of_bool on) ])
+  | Attack_phase { kind; on } ->
+    ("attack_phase", [ ("kind", "\"" ^ json_escape kind ^ "\""); ("on", string_of_bool on) ])
   | Fault_corrupt { src; dst; size } ->
     ( "fault_corrupt",
       [ ("src", string_of_int src); ("dst", string_of_int dst); ("size", string_of_int size) ] )

@@ -62,6 +62,9 @@ type data =
       (** verdict is ["clean"], ["retest"] or ["reported"] *)
   | Ca_report of { kind : string }
   | Ca_outcome of { convicted : int list }
+  | Ca_admission of { source : int; granted : bool; cost : int }
+      (** a certificate-admission request was judged by the CA's rate
+          limiter; [cost] is the source's cumulative admission spend *)
   | Revoked of { addr : int; id : int }
   | Churn_leave of { addr : int }
   | Churn_join of { addr : int }
@@ -69,6 +72,9 @@ type data =
       (** a scheduled fault window opened ([on = true]) or healed; [fault]
           is ["partition"], ["link"], ["corrupt"], ["duplicate"],
           ["reorder"] or ["outage"] *)
+  | Attack_phase of { kind : string; on : bool }
+      (** an adversary campaign window opened or closed ([World.set_attack]);
+          [kind] is the attack kind's name, e.g. ["bias"] *)
   | Fault_corrupt of { src : int; dst : int; size : int }
       (** the payload was garbled in flight; [size] is the perturbed
           delivered size *)

@@ -428,6 +428,134 @@ let test_omission_chain_honest_survives () =
         Alcotest.fail "honest node convicted"
   end
 
+(* A chain launched past the depth budget must conclude Nothing at once —
+   the bound is what keeps a crafted accusation from walking the whole
+   ring. Same convicting topology as above, so only the depth differs. *)
+let test_omission_chain_depth_exhausted () =
+  let engine, w, _ = make_world ~n:150 ~seed:18 ~fraction_malicious:0.2 () in
+  w.World.attack <- { World.kind = World.Bias; rate = 1.0; consistency = 0.5 };
+  run engine ~until:12.0;
+  let candidate =
+    Array.to_list w.World.nodes
+    |> List.find_opt (fun (n : World.node) ->
+           n.World.malicious
+           &&
+           match Rtable.successor (World.rt n) with
+           | Some s -> not (World.node w s.Peer.addr).World.malicious
+           | None -> false)
+  in
+  match candidate with
+  | None -> Alcotest.fail "no suitable topology"
+  | Some mal ->
+    let missing = Option.get (Rtable.successor (World.rt mal)) in
+    let claimed = Adversary.serve_list w mal Types.Succ_list in
+    let outcome = ref None in
+    Ca.investigate_omission w ~missing ~owner:claimed.Types.l_owner
+      ~peers:claimed.Types.l_peers ~time:claimed.Types.l_time
+      ~depth:(w.World.cfg.Config.max_chain_depth + 1) (fun o -> outcome := Some o);
+    Engine.run_until_idle engine ();
+    (match !outcome with
+    | Some Ca.Nothing -> ()
+    | Some (Ca.Convicted _) -> Alcotest.fail "exhausted chain still convicted"
+    | None -> Alcotest.fail "exhausted chain never concluded")
+
+(* ------------------------------------------------------------------ *)
+(* CA certificate admission (Sybil flooding defense) *)
+
+let admission_cfg =
+  { Config.default with
+    Config.ca_admission = true;
+    ca_admission_rate = 0.5;
+    ca_admission_burst = 3;
+  }
+
+let test_admission_burst_boundary () =
+  let _, _, ca = make_world ~n:40 ~cfg:admission_cfg () in
+  (* The initial bucket holds exactly [burst] tokens: requests 1..burst
+     are granted back-to-back, request burst+1 is refused. *)
+  for i = 1 to 3 do
+    match Ca.request_admission ca ~source:0 ~requested_id:i with
+    | Ca.Admitted _ -> ()
+    | _ -> Alcotest.failf "request %d within burst refused" i
+  done;
+  (match Ca.request_admission ca ~source:0 ~requested_id:99 with
+  | Ca.Refused_rate_limited -> ()
+  | _ -> Alcotest.fail "burst+1 not rate-limited");
+  Alcotest.(check int) "admitted" 3 (Ca.admitted ca);
+  Alcotest.(check int) "refused" 1 (Ca.refused ca);
+  Alcotest.(check int) "cost counts refusals too" 4 (Ca.admission_cost ca 0)
+
+let test_admission_refill_over_time () =
+  let engine, _, ca = make_world ~n:40 ~cfg:admission_cfg () in
+  for i = 1 to 3 do
+    ignore (Ca.request_admission ca ~source:0 ~requested_id:i)
+  done;
+  (match Ca.request_admission ca ~source:0 ~requested_id:50 with
+  | Ca.Refused_rate_limited -> ()
+  | _ -> Alcotest.fail "bucket not drained");
+  (* rate 0.5 tokens/s: 4.2 seconds buys exactly two more grants. *)
+  run engine ~until:4.2;
+  let before = Ca.admitted ca in
+  for i = 51 to 55 do
+    ignore (Ca.request_admission ca ~source:0 ~requested_id:i)
+  done;
+  Alcotest.(check int) "two refilled tokens" 2 (Ca.admitted ca - before)
+
+let test_admission_deterministic_order () =
+  (* Refusals draw no randomness, so a fixed request schedule yields the
+     same verdict sequence on every run — and each source spends its own
+     bucket (source 0's exhaustion never touches source 1's budget). *)
+  let schedule =
+    [ (0, 1); (1, 2); (0, 3); (0, 4); (1, 5); (0, 6); (0, 7); (1, 8); (1, 9); (1, 10) ]
+  in
+  let outcomes () =
+    let _, _, ca = make_world ~n:40 ~cfg:admission_cfg () in
+    List.map
+      (fun (src, id) ->
+        match Ca.request_admission ca ~source:src ~requested_id:id with
+        | Ca.Admitted _ -> true
+        | _ -> false)
+      schedule
+  in
+  let o = outcomes () in
+  Alcotest.(check (list bool)) "same schedule, same verdicts" o (outcomes ());
+  Alcotest.(check (list bool)) "per-source budgets"
+    [ true; true; true; true; true; false; false; true; false; false ]
+    o
+
+let test_admission_revoked_banned () =
+  let _, w, ca = make_world ~n:40 ~cfg:admission_cfg () in
+  World.revoke w 7;
+  (match Ca.request_admission ca ~source:7 ~requested_id:123 with
+  | Ca.Refused_revoked -> ()
+  | _ -> Alcotest.fail "revoked source re-admitted");
+  Alcotest.(check int) "refusal recorded" 1 (Ca.refused ca);
+  (* The ban is not a rate-limit artifact: a fresh source still gets in. *)
+  (match Ca.request_admission ca ~source:8 ~requested_id:124 with
+  | Ca.Admitted _ -> ()
+  | _ -> Alcotest.fail "honest source refused")
+
+let test_admission_id_taken () =
+  let _, w, ca = make_world ~n:40 ~cfg:admission_cfg () in
+  let taken = (World.node w 5).World.peer.Peer.id in
+  (match Ca.request_admission ca ~source:1 ~requested_id:taken with
+  | Ca.Refused_id_taken -> ()
+  | _ -> Alcotest.fail "duplicate identifier admitted")
+
+let qcheck_admission_burst =
+  QCheck.Test.make ~name:"back-to-back admissions = min(k, burst)" ~count:25
+    QCheck.(pair (int_range 0 12) (int_range 1 6))
+    (fun (k, burst) ->
+      let cfg = { admission_cfg with Config.ca_admission_burst = burst } in
+      let _, _, ca = make_world ~n:16 ~cfg () in
+      let granted = ref 0 in
+      for i = 1 to k do
+        match Ca.request_admission ca ~source:3 ~requested_id:i with
+        | Ca.Admitted _ -> incr granted
+        | _ -> ()
+      done;
+      !granted = Int.min k burst)
+
 (* ------------------------------------------------------------------ *)
 (* Secret finger surveillance *)
 
@@ -886,7 +1014,15 @@ let () =
           Alcotest.test_case "quiet when honest" `Quick test_surveillance_quiet_when_honest;
           Alcotest.test_case "omission chain convicts" `Quick test_omission_chain_convicts;
           Alcotest.test_case "honest survives chain" `Quick test_omission_chain_honest_survives;
+          Alcotest.test_case "depth budget exhausts" `Quick test_omission_chain_depth_exhausted;
         ] );
+      ( "ca-admission",
+        Alcotest.test_case "burst boundary" `Quick test_admission_burst_boundary
+        :: Alcotest.test_case "refill over time" `Quick test_admission_refill_over_time
+        :: Alcotest.test_case "deterministic order" `Quick test_admission_deterministic_order
+        :: Alcotest.test_case "revoked source banned" `Quick test_admission_revoked_banned
+        :: Alcotest.test_case "id already taken" `Quick test_admission_id_taken
+        :: List.map QCheck_alcotest.to_alcotest [ qcheck_admission_burst ] );
       ( "finger-check",
         [
           Alcotest.test_case "detects manipulation" `Quick test_finger_check_detects_manipulation;
